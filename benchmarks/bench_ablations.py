@@ -1,0 +1,81 @@
+"""EXP-A1/A2/A3 — ablation studies beyond the paper's figures.
+
+* A1: how much of BSA's advantage over the two-phase scheduler comes from
+  joint assignment as communication latency grows;
+* A2: the paper's literal Figure 6 test (cycneeded < II) vs the prose
+  reading (cycneeded <= MII of the unrolled loop);
+* A3: SMS ordering vs plain topological ordering inside BSA.
+"""
+
+from conftest import save_result
+
+from repro.experiments import (
+    run_ordering_ablation,
+    run_selective_rule_ablation,
+    run_singlepass_ablation,
+)
+from repro.perf import format_table
+
+
+def test_ablation_singlepass(benchmark, ctx, results_dir):
+    points = benchmark.pedantic(
+        run_singlepass_ablation, args=(ctx,), rounds=1, iterations=1
+    )
+    by = {(p.bus_latency, p.algorithm): p.relative_ipc for p in points}
+    # single-pass at least matches two-phase at every latency
+    for latency in (1, 2, 4):
+        assert by[(latency, "bsa")] >= by[(latency, "two-phase")] - 0.015
+    rows = [
+        {"bus_latency": p.bus_latency, "algorithm": p.algorithm,
+         "relative_ipc": p.relative_ipc}
+        for p in points
+    ]
+    save_result(
+        results_dir,
+        "ablation_singlepass.txt",
+        format_table(rows, title="A1: single-pass vs two-phase (4c, 1 bus)"),
+    )
+
+
+def test_ablation_selective_rule(benchmark, ctx, results_dir):
+    points = benchmark.pedantic(
+        run_selective_rule_ablation, args=(ctx,), rounds=1, iterations=1
+    )
+    rows = [
+        {
+            "rule": p.rule,
+            "buses": p.n_buses,
+            "bus_latency": p.bus_latency,
+            "mean_ipc": p.mean_ipc,
+            "unrolled_loops": p.unrolled_loops,
+            "total_ops": p.total_ops,
+        }
+        for p in points
+    ]
+    # both rules must produce complete results on every scenario
+    assert len(points) == 6
+    save_result(
+        results_dir,
+        "ablation_selective_rule.txt",
+        format_table(rows, title="A2: Figure 6 decision rule variants (4c)"),
+    )
+
+
+def test_ablation_ordering(benchmark, ctx, results_dir):
+    points = benchmark.pedantic(
+        run_ordering_ablation, args=(ctx,), rounds=1, iterations=1
+    )
+    by = {(p.n_clusters, p.ordering): p.relative_ipc for p in points}
+    # SMS ordering should not lose to plain topological ordering
+    for n_clusters in (2, 4):
+        assert by[(n_clusters, "sms")] >= by[(n_clusters, "topological")] - 0.03
+    rows = [
+        {"clusters": p.n_clusters, "ordering": p.ordering,
+         "relative_ipc": p.relative_ipc}
+        for p in points
+    ]
+    save_result(
+        results_dir,
+        "ablation_ordering.txt",
+        format_table(rows, title="A3: BSA node ordering (1 bus, latency 1)"),
+    )

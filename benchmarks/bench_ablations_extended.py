@@ -1,0 +1,88 @@
+"""EXP-A4/A5/A6 — extended ablations.
+
+* A4: circular vs least-loaded default-cluster rotation in BSA (the
+  paper's Section 5.1 mentions both);
+* A5: unroll-factor sweep — is U = n_clusters the right choice?
+* A6: memory-stall sensitivity of the clustered/unified IPC gap
+  (extension; the paper assumes perfect memory).
+"""
+
+from conftest import save_result
+
+from repro.experiments import (
+    run_default_cluster_ablation,
+    run_stall_sensitivity,
+    run_unroll_factor_sweep,
+)
+from repro.perf import format_table
+
+
+def test_ablation_default_cluster(benchmark, ctx, results_dir):
+    points = benchmark.pedantic(
+        run_default_cluster_ablation, args=(ctx,), rounds=1, iterations=1
+    )
+    rows = [
+        {
+            "clusters": p.n_clusters,
+            "policy": p.policy_label,
+            "relative_ipc": p.relative_ipc,
+        }
+        for p in points
+    ]
+    # both policies must stay in a sane band; neither collapses
+    for p in points:
+        assert p.relative_ipc > 0.5
+    save_result(
+        results_dir,
+        "ablation_default_cluster.txt",
+        format_table(rows, title="A4: default-cluster policy (unroll-all)"),
+    )
+
+
+def test_ablation_unroll_factor(benchmark, ctx, results_dir):
+    points = benchmark.pedantic(
+        run_unroll_factor_sweep, args=(ctx,), rounds=1, iterations=1
+    )
+    by_factor = {p.factor: p for p in points}
+    # U = n_clusters (4) beats no unrolling on the 4-cluster machine
+    assert by_factor[4].mean_ipc > by_factor[1].mean_ipc
+    # U = 2 sits between
+    assert by_factor[2].mean_ipc >= by_factor[1].mean_ipc - 0.05
+    rows = [
+        {
+            "factor": p.factor,
+            "mean_ipc": p.mean_ipc,
+            "unschedulable_loops": p.failed_loops,
+        }
+        for p in points
+    ]
+    save_result(
+        results_dir,
+        "ablation_unroll_factor.txt",
+        format_table(rows, title="A5: unroll factor sweep (4c, 1 bus, latency 1)"),
+    )
+
+
+def test_ablation_stall_sensitivity(benchmark, ctx, results_dir):
+    points = benchmark.pedantic(
+        run_stall_sensitivity, args=(ctx,), rounds=1, iterations=1
+    )
+    # stalls hit both machines equally -> the ratio drifts towards 1.0
+    base = points[0].relative_ipc
+    worst = points[-1].relative_ipc
+    assert abs(worst - 1.0) <= abs(base - 1.0) + 0.02
+    rows = [
+        {
+            "miss_rate": p.miss_rate,
+            "miss_penalty": p.miss_penalty,
+            "relative_ipc": p.relative_ipc,
+        }
+        for p in points
+    ]
+    save_result(
+        results_dir,
+        "ablation_stalls.txt",
+        format_table(
+            rows, title="A6: memory-stall sensitivity (4c/1bus, selective unroll)"
+        ),
+    )

@@ -1,0 +1,59 @@
+"""EXP-F10 — Figure 10: static code size under the unrolling policies.
+
+Paper shape: NOP padding grows as the fabric starves when not unrolling;
+blanket unrolling multiplies useful code by the unroll factor; selective
+unrolling costs clearly less than blanket unrolling, with the biggest
+savings on high-bandwidth fabrics where few loops are bus limited.
+"""
+
+from conftest import save_result
+
+from repro.core.selective import UnrollPolicy
+from repro.experiments import fig10_rows, run_fig10
+from repro.perf import format_table
+
+
+def _pt(points, n_clusters, n_buses, latency, policy):
+    return next(
+        p
+        for p in points
+        if p.n_clusters == n_clusters
+        and p.n_buses == n_buses
+        and p.bus_latency == latency
+        and p.policy is policy
+    )
+
+
+def test_fig10(benchmark, ctx, results_dir):
+    points = benchmark.pedantic(run_fig10, args=(ctx,), rounds=1, iterations=1)
+
+    for n_clusters in (2, 4):
+        none_fast = _pt(points, n_clusters, 2, 1, UnrollPolicy.NONE)
+        all_fast = _pt(points, n_clusters, 2, 1, UnrollPolicy.ALL)
+        sel_fast = _pt(points, n_clusters, 2, 1, UnrollPolicy.SELECTIVE)
+
+        # 1. blanket unrolling costs clearly more useful code (the kernel
+        # carries factor-times the ops; shallower pipelines claw some back)
+        growth = 1.25 if n_clusters == 2 else 1.5
+        assert all_fast.useful_ops_ratio > growth * none_fast.useful_ops_ratio
+        # 2. selective stays below blanket unrolling
+        assert sel_fast.useful_ops_ratio < all_fast.useful_ops_ratio
+        assert sel_fast.total_ops_ratio < all_fast.total_ops_ratio
+        # 3. savings shrink when the fabric starves (more loops unroll)
+        sel_starved = _pt(points, n_clusters, 1, 4, UnrollPolicy.SELECTIVE)
+        all_starved = _pt(points, n_clusters, 1, 4, UnrollPolicy.ALL)
+        saving_fast = all_fast.useful_ops_ratio - sel_fast.useful_ops_ratio
+        saving_starved = all_starved.useful_ops_ratio - sel_starved.useful_ops_ratio
+        assert saving_fast >= saving_starved - 0.05
+
+    save_result(
+        results_dir,
+        "fig10.txt",
+        format_table(
+            fig10_rows(points),
+            title=(
+                "Figure 10: code size normalised to unified/no-unroll "
+                "(total = useful + NOP)"
+            ),
+        ),
+    )

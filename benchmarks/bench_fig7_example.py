@@ -1,0 +1,39 @@
+"""EXP-F7 — Figure 7: the unrolling walk-through examples.
+
+Paper numbers for the 6-node graph: ResMII = ceil(6/4) = 2,
+RecMII = ceil(3/2) = 2, non-unrolled schedule settles at II = 3 because
+the single bus saturates; unrolling by 2 hides the communication latency.
+"""
+
+from conftest import save_result
+
+from repro.experiments import fig7_rows, run_fig7, run_fig7_ladder
+from repro.perf import format_table
+
+
+def test_fig7_paper_graph(benchmark, results_dir):
+    case = benchmark.pedantic(run_fig7, rounds=1, iterations=1)
+    assert case.res_mii == 2
+    assert case.rec_mii == 2
+    assert case.unified_schedule.ii == 2
+    assert case.base_schedule.ii == 3  # the paper's bus-limited II
+    assert case.base_schedule.was_bus_limited
+    assert case.unrolled_ii_per_iteration <= 2.0  # parity or better
+    save_result(
+        results_dir,
+        "fig7_paper_graph.txt",
+        format_table(fig7_rows(case), title="Figure 7 (paper 6-node graph)"),
+    )
+
+
+def test_fig7_ladder(benchmark, results_dir):
+    case = benchmark.pedantic(run_fig7_ladder, rounds=1, iterations=1)
+    assert case.unified_schedule.ii == 3
+    assert case.base_schedule.ii == 6  # 2x degradation without unrolling
+    assert case.unrolled_schedule.ii == 6  # parity: 3 per source iteration
+    assert case.unrolled_schedule.communication_count == 0
+    save_result(
+        results_dir,
+        "fig7_ladder.txt",
+        format_table(fig7_rows(case), title="Figure 7 (ladder variant, bus latency 2)"),
+    )

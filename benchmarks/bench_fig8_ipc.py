@@ -1,0 +1,90 @@
+"""EXP-F8 — Figure 8: per-program IPC under the three unrolling policies.
+
+Paper shape: without unrolling, clustered IPC falls as buses shrink or
+slow; unrolling all loops recovers to roughly unified parity (sometimes
+above); selective unrolling tracks full unrolling closely; tomcatv is the
+worst 4-cluster unrolling case.
+"""
+
+from conftest import save_result
+
+from repro.core.selective import UnrollPolicy
+from repro.experiments import average_ipc, fig8_rows, run_fig8
+from repro.perf import format_table
+
+
+def _mean(points, n_clusters, n_buses, latency, policy):
+    vals = [
+        p.ipc
+        for p in points
+        if p.n_clusters == n_clusters
+        and p.n_buses == n_buses
+        and p.bus_latency == latency
+        and p.policy is policy
+    ]
+    return sum(vals) / len(vals)
+
+
+def test_fig8(benchmark, ctx, results_dir):
+    points = benchmark.pedantic(run_fig8, args=(ctx,), rounds=1, iterations=1)
+
+    unified_ipc = {
+        p.program: p.ipc for p in points if p.n_clusters == 1
+    }
+    mean_unified = sum(unified_ipc.values()) / len(unified_ipc)
+
+    for n_clusters in (2, 4):
+        # 1. NU degrades with fewer buses and higher latency
+        nu_good = _mean(points, n_clusters, 2, 1, UnrollPolicy.NONE)
+        nu_bad = _mean(points, n_clusters, 1, 4, UnrollPolicy.NONE)
+        assert nu_bad < nu_good
+        # 2. unrolling recovers to near (or above) unified on the fast fabric
+        for policy in (UnrollPolicy.ALL, UnrollPolicy.SELECTIVE):
+            rec = _mean(points, n_clusters, 1, 1, policy)
+            assert rec / mean_unified > 0.9, (n_clusters, policy)
+        # 3. unrolled configurations are less sensitive to the fabric
+        nu_spread = nu_good - nu_bad
+        su_spread = _mean(points, n_clusters, 2, 1, UnrollPolicy.SELECTIVE) - _mean(
+            points, n_clusters, 1, 4, UnrollPolicy.SELECTIVE
+        )
+        assert su_spread < nu_spread
+        # 4. selective tracks full unrolling
+        for n_buses in (1, 2):
+            for latency in (1, 2, 4):
+                a = _mean(points, n_clusters, n_buses, latency, UnrollPolicy.ALL)
+                s = _mean(points, n_clusters, n_buses, latency, UnrollPolicy.SELECTIVE)
+                assert abs(a - s) / a < 0.15
+
+    # 5. tomcatv is among the weakest unrolling beneficiaries at 4 clusters
+    tomcatv_ratio = next(
+        p.ipc
+        for p in points
+        if p.program == "tomcatv"
+        and p.n_clusters == 4
+        and p.n_buses == 1
+        and p.bus_latency == 1
+        and p.policy is UnrollPolicy.ALL
+    ) / unified_ipc["tomcatv"]
+    others = [
+        next(
+            p.ipc
+            for p in points
+            if p.program == name
+            and p.n_clusters == 4
+            and p.n_buses == 1
+            and p.bus_latency == 1
+            and p.policy is UnrollPolicy.ALL
+        )
+        / unified_ipc[name]
+        for name in unified_ipc
+        if name != "tomcatv"
+    ]
+    assert tomcatv_ratio <= sorted(others)[len(others) // 2]  # below the median
+
+    text = format_table(
+        fig8_rows(points), title="Figure 8: IPC per program and scenario"
+    )
+    text += "\n\n" + format_table(
+        average_ipc(points), title="Figure 8: suite-average IPC per scenario"
+    )
+    save_result(results_dir, "fig8.txt", text)

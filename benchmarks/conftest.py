@@ -1,0 +1,37 @@
+"""Shared infrastructure for the experiment benchmarks.
+
+Each benchmark regenerates one of the paper's tables or figures.  All
+benches share one :class:`~repro.experiments.common.ExperimentContext` per
+pytest process, so scenario points computed for one figure are reused by
+the others (Figure 9 reuses Figure 8's schedules, etc.).
+
+Every bench also writes its rendered table to ``benchmarks/results/`` so
+EXPERIMENTS.md can quote the exact reproduced numbers.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.experiments import ExperimentContext
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def ctx() -> ExperimentContext:
+    return ExperimentContext()
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def save_result(results_dir: pathlib.Path, name: str, text: str) -> None:
+    path = results_dir / name
+    path.write_text(text + "\n")
+    print(f"\n{text}\n[saved to {path}]")

@@ -1,0 +1,122 @@
+"""repro — modulo scheduling for clustered VLIW architectures.
+
+A faithful reimplementation of Sánchez & González, *The Effectiveness of
+Loop Unrolling for Modulo Scheduling in Clustered VLIW Architectures*
+(ICPP 2000): the single-pass assign-and-schedule modulo scheduler (BSA),
+the two-phase Nystrom & Eichenberger comparator, selective loop unrolling,
+the clustered VLIW machine model, and the full experiment harness for the
+paper's tables and figures.
+
+Quick start::
+
+    from repro import (
+        LoopBuilder, four_cluster_config, unified_config,
+        BsaScheduler, UnifiedScheduler, verify_schedule,
+    )
+
+    b = LoopBuilder("daxpy")
+    x = b.load("x[i]"); y = b.load("y[i]")
+    s = b.fadd(b.fmul(x, b.live_in("a")), y)
+    b.store(s, "y[i]")
+    graph = b.build()
+
+    sched = BsaScheduler(four_cluster_config()).schedule(graph)
+    verify_schedule(sched)
+    print(sched.describe())
+"""
+
+from .arch import (
+    BusSpec,
+    FuSet,
+    MachineConfig,
+    clustered_config,
+    cycle_time_ps,
+    four_cluster_config,
+    paper_configs,
+    two_cluster_config,
+    unified_config,
+)
+from .core import (
+    BsaScheduler,
+    ModuloSchedule,
+    ScheduledLoopResult,
+    SelectiveRule,
+    TwoPhaseScheduler,
+    UnifiedScheduler,
+    UnrollPolicy,
+    mii,
+    mii_report,
+    rec_mii,
+    res_mii,
+    schedule_with_policy,
+    sms_order,
+    verify_schedule,
+)
+from .errors import (
+    ConfigError,
+    GraphError,
+    ReproError,
+    SchedulingError,
+    VerificationError,
+)
+from .ir import (
+    DEFAULT_CATALOG,
+    Dependence,
+    DependenceGraph,
+    DepKind,
+    FuClass,
+    Loop,
+    LoopBuilder,
+    OpCatalog,
+    Opcode,
+    Operation,
+    Program,
+    count_cross_copy_deps,
+    unroll_graph,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BsaScheduler",
+    "BusSpec",
+    "ConfigError",
+    "DEFAULT_CATALOG",
+    "Dependence",
+    "DependenceGraph",
+    "DepKind",
+    "FuClass",
+    "FuSet",
+    "GraphError",
+    "Loop",
+    "LoopBuilder",
+    "MachineConfig",
+    "ModuloSchedule",
+    "OpCatalog",
+    "Opcode",
+    "Operation",
+    "Program",
+    "ReproError",
+    "ScheduledLoopResult",
+    "SchedulingError",
+    "SelectiveRule",
+    "TwoPhaseScheduler",
+    "UnifiedScheduler",
+    "UnrollPolicy",
+    "VerificationError",
+    "clustered_config",
+    "count_cross_copy_deps",
+    "cycle_time_ps",
+    "four_cluster_config",
+    "mii",
+    "mii_report",
+    "paper_configs",
+    "rec_mii",
+    "res_mii",
+    "schedule_with_policy",
+    "sms_order",
+    "two_cluster_config",
+    "unified_config",
+    "unroll_graph",
+    "verify_schedule",
+]

@@ -1,0 +1,61 @@
+"""Clustered VLIW machine model: clusters, buses, configurations, timing."""
+
+from .cluster import MachineConfig, heterogeneous_config
+from .configs import (
+    PAPER_BUS_COUNTS,
+    PAPER_BUS_LATENCIES,
+    clustered_config,
+    four_cluster_config,
+    paper_configs,
+    table1_rows,
+    two_cluster_config,
+    unified_config,
+)
+from .isa import (
+    BusField,
+    ClusterInstruction,
+    FuSlot,
+    VliwInstruction,
+    empty_instruction,
+    slots_per_instruction,
+)
+from .resources import BusSpec, FuSet
+from .timing import (
+    CycleTimeBreakdown,
+    bypass_delay_ps,
+    clock_speedup,
+    cycle_time_breakdown,
+    cycle_time_ps,
+    register_file_delay_ps,
+    register_file_ports,
+    table2_rows,
+)
+
+__all__ = [
+    "BusField",
+    "BusSpec",
+    "ClusterInstruction",
+    "CycleTimeBreakdown",
+    "FuSet",
+    "FuSlot",
+    "MachineConfig",
+    "heterogeneous_config",
+    "PAPER_BUS_COUNTS",
+    "PAPER_BUS_LATENCIES",
+    "VliwInstruction",
+    "bypass_delay_ps",
+    "clock_speedup",
+    "clustered_config",
+    "cycle_time_breakdown",
+    "cycle_time_ps",
+    "empty_instruction",
+    "four_cluster_config",
+    "paper_configs",
+    "register_file_delay_ps",
+    "register_file_ports",
+    "slots_per_instruction",
+    "table1_rows",
+    "two_cluster_config",
+    "table2_rows",
+    "unified_config",
+]

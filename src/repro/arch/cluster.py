@@ -1,0 +1,190 @@
+"""Machine configurations: clusters, register files and buses (Section 3).
+
+A :class:`MachineConfig` describes a clustered VLIW machine:
+``n_clusters`` clusters, each with a private register file and a set of
+typed functional units, connected by ``buses.count`` shared buses of
+latency ``buses.latency``.  The *unified* architecture of the paper is
+simply the single-cluster special case with no buses.
+
+The paper evaluates homogeneous machines but notes the techniques
+"can easily be generalized for non-homogeneous configurations"
+(Section 3); ``cluster_fus`` realises that generalisation — give each
+cluster its own :class:`~repro.arch.resources.FuSet` (e.g. an FP-heavy
+cluster next to an integer/memory cluster, TI C6000 style).  All
+schedulers in :mod:`repro.core` work unchanged on such machines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import ConfigError
+from ..ir.operation import FuClass
+from .resources import BusSpec, FuSet
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """A (possibly clustered, possibly heterogeneous) VLIW machine.
+
+    Attributes
+    ----------
+    name:
+        Label used in reports (e.g. ``"4-cluster"``).
+    n_clusters:
+        Number of clusters.
+    fu_per_cluster:
+        Functional units of each class inside one cluster (homogeneous
+        machines; ignored when ``cluster_fus`` is given, but kept as the
+        nominal per-cluster shape for reports).
+    regs_per_cluster:
+        Size of each cluster's local register file (the paper uses no spill
+        code, so placements exceeding this are rejected by schedulers).
+    buses:
+        Shared inter-cluster bus fabric; irrelevant when ``n_clusters == 1``.
+    cluster_fus:
+        Optional per-cluster functional-unit sets for non-homogeneous
+        machines; must have exactly ``n_clusters`` entries.
+    """
+
+    name: str
+    n_clusters: int
+    fu_per_cluster: FuSet
+    regs_per_cluster: int
+    buses: BusSpec = field(default=BusSpec(0, 1))
+    cluster_fus: tuple[FuSet, ...] | None = None
+
+    def __post_init__(self) -> None:
+        if self.n_clusters < 1:
+            raise ConfigError(f"n_clusters must be >= 1, got {self.n_clusters}")
+        if self.regs_per_cluster < 1:
+            raise ConfigError(
+                f"regs_per_cluster must be >= 1, got {self.regs_per_cluster}"
+            )
+        if self.n_clusters > 1 and self.buses.count < 1:
+            raise ConfigError(
+                "a clustered machine needs at least one bus to communicate values"
+            )
+        if self.cluster_fus is not None and len(self.cluster_fus) != self.n_clusters:
+            raise ConfigError(
+                f"cluster_fus has {len(self.cluster_fus)} entries for "
+                f"{self.n_clusters} clusters"
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def is_clustered(self) -> bool:
+        return self.n_clusters > 1
+
+    @property
+    def is_homogeneous(self) -> bool:
+        return self.cluster_fus is None or all(
+            fus == self.cluster_fus[0] for fus in self.cluster_fus
+        )
+
+    def fu_set(self, cluster: int) -> FuSet:
+        """The functional units of one cluster."""
+        self._check_cluster(cluster)
+        if self.cluster_fus is not None:
+            return self.cluster_fus[cluster]
+        return self.fu_per_cluster
+
+    @property
+    def total_fus(self) -> FuSet:
+        """Functional units summed over all clusters."""
+        if self.cluster_fus is None:
+            return self.fu_per_cluster.scaled(self.n_clusters)
+        total = FuSet(
+            sum(f.int_units for f in self.cluster_fus),
+            sum(f.fp_units for f in self.cluster_fus),
+            sum(f.mem_units for f in self.cluster_fus),
+        )
+        return total
+
+    @property
+    def issue_width(self) -> int:
+        """Operations issued per cycle machine-wide (FU slots only)."""
+        return self.total_fus.total
+
+    @property
+    def max_fus_in_a_cluster(self) -> int:
+        """The largest per-cluster FU count (drives the bypass delay)."""
+        return max(self.fu_set(c).total for c in self.clusters())
+
+    @property
+    def total_registers(self) -> int:
+        return self.regs_per_cluster * self.n_clusters
+
+    def fu_count(self, cluster: int, fu_class: FuClass) -> int:
+        """Units of *fu_class* inside one cluster."""
+        return self.fu_set(cluster).count(fu_class)
+
+    def clusters(self) -> range:
+        return range(self.n_clusters)
+
+    def _check_cluster(self, cluster: int) -> None:
+        if not 0 <= cluster < self.n_clusters:
+            raise ConfigError(
+                f"cluster index {cluster} out of range 0..{self.n_clusters - 1}"
+            )
+
+    # ------------------------------------------------------------------
+    def with_buses(self, count: int, latency: int) -> "MachineConfig":
+        """Same clusters, different bus fabric."""
+        return MachineConfig(
+            name=self.name,
+            n_clusters=self.n_clusters,
+            fu_per_cluster=self.fu_per_cluster,
+            regs_per_cluster=self.regs_per_cluster,
+            buses=BusSpec(count, latency),
+            cluster_fus=self.cluster_fus,
+        )
+
+    def unified_equivalent(self, name: str | None = None) -> "MachineConfig":
+        """The unified machine with the same *total* resources.
+
+        This is the hypothetical comparison point used throughout the paper
+        (Sections 4 and 6): all functional units and registers pooled into
+        one cluster, no buses.
+        """
+        return MachineConfig(
+            name=name or f"{self.name}-unified",
+            n_clusters=1,
+            fu_per_cluster=self.total_fus,
+            regs_per_cluster=self.total_registers,
+            buses=BusSpec(0, 1),
+        )
+
+    def describe(self) -> str:
+        parts = [f"{self.name}: {self.n_clusters} cluster(s)"]
+        if self.cluster_fus is not None and not self.is_homogeneous:
+            fus = " + ".join(str(f) for f in self.cluster_fus)
+            parts.append(f"FUs {fus}")
+        else:
+            parts.append(f"FUs/cluster {self.fu_set(0)}")
+        parts.append(f"{self.regs_per_cluster} regs/cluster")
+        if self.is_clustered:
+            parts.append(str(self.buses))
+        return ", ".join(parts)
+
+    def __str__(self) -> str:
+        return self.describe()
+
+
+def heterogeneous_config(
+    name: str,
+    cluster_fus: tuple[FuSet, ...],
+    regs_per_cluster: int,
+    buses: BusSpec,
+) -> MachineConfig:
+    """Convenience constructor for a non-homogeneous machine."""
+    if not cluster_fus:
+        raise ConfigError("heterogeneous machine needs at least one cluster")
+    return MachineConfig(
+        name=name,
+        n_clusters=len(cluster_fus),
+        fu_per_cluster=cluster_fus[0],
+        regs_per_cluster=regs_per_cluster,
+        buses=buses,
+        cluster_fus=tuple(cluster_fus),
+    )

@@ -1,0 +1,158 @@
+"""Command-line entry point: ``repro-vliw <command>``.
+
+Commands map one-to-one onto the paper's artefacts::
+
+    repro-vliw table1              # machine configurations
+    repro-vliw table2 [--buses N]  # cycle-time model
+    repro-vliw fig4  [--quick]     # bus-sensitivity sweep
+    repro-vliw fig7                # unrolling walk-through examples
+    repro-vliw fig8  [--quick]     # per-program IPC grid
+    repro-vliw fig9                # cycle-time-aware speed-ups
+    repro-vliw fig10 [--quick]     # code-size impact
+    repro-vliw schedule KERNEL     # schedule a named kernel and print it
+
+``--quick`` trims sweeps (fewer bus counts / cluster counts) for fast
+inspection; full runs regenerate exactly what EXPERIMENTS.md records.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .arch.configs import clustered_config, unified_config
+from .codegen.vliw import render_schedule
+from .core.bsa import BsaScheduler
+from .core.unified import UnifiedScheduler
+from .core.verify import verify_schedule
+from .experiments import (
+    ExperimentContext,
+    average_ipc,
+    best_speedup,
+    fig4_rows,
+    fig7_rows,
+    fig8_rows,
+    fig9_rows,
+    fig10_rows,
+    run_fig4,
+    run_fig7,
+    run_fig7_ladder,
+    run_fig8,
+    run_fig9,
+    run_fig10,
+    run_table1,
+    run_table2,
+)
+from .perf.report import format_table
+from .workloads.kernels import ALL_KERNELS
+
+
+def _ctx() -> ExperimentContext:
+    return ExperimentContext()
+
+
+def cmd_table1(_args: argparse.Namespace) -> None:
+    print(format_table(run_table1(), title="Table 1: configurations"))
+
+
+def cmd_table2(args: argparse.Namespace) -> None:
+    rows = run_table2(n_buses=args.buses)
+    print(format_table(rows, title="Table 2: cycle times (ps)", floatfmt=".1f"))
+
+
+def cmd_fig4(args: argparse.Namespace) -> None:
+    sweep = (1, 2, 4) if args.quick else None
+    kwargs = {"bus_sweep": sweep} if sweep else {}
+    points = run_fig4(_ctx(), **kwargs)
+    print(format_table(fig4_rows(points), title="Figure 4: relative IPC vs buses"))
+
+
+def cmd_fig7(_args: argparse.Namespace) -> None:
+    case = run_fig7()
+    print(format_table(fig7_rows(case), title="Figure 7 (paper 6-node graph)"))
+    print()
+    case = run_fig7_ladder()
+    print(format_table(fig7_rows(case), title="Figure 7 (ladder variant)"))
+
+
+def cmd_fig8(args: argparse.Namespace) -> None:
+    kwargs = {}
+    if args.quick:
+        kwargs = {"bus_counts": (1,), "latencies": (1, 4)}
+    points = run_fig8(_ctx(), **kwargs)
+    print(format_table(fig8_rows(points), title="Figure 8: IPC per program"))
+    print()
+    print(format_table(average_ipc(points), title="Figure 8: averages"))
+
+
+def cmd_fig9(_args: argparse.Namespace) -> None:
+    points = run_fig9(_ctx())
+    print(format_table(fig9_rows(points), title="Figure 9: speed-up vs unified"))
+    best = best_speedup(points)
+    print(
+        f"\nbest: {best.n_clusters}-cluster / {best.n_buses} bus / "
+        f"{best.scenario} -> {best.report.speedup:.2f}x"
+    )
+
+
+def cmd_fig10(args: argparse.Namespace) -> None:
+    kwargs = {}
+    if args.quick:
+        kwargs = {"bus_counts": (1,), "latencies": (1, 4)}
+    points = run_fig10(_ctx(), **kwargs)
+    print(format_table(fig10_rows(points), title="Figure 10: code size (normalised)"))
+
+
+def cmd_schedule(args: argparse.Namespace) -> None:
+    try:
+        graph = ALL_KERNELS[args.kernel]()
+    except KeyError:
+        sys.exit(f"unknown kernel {args.kernel!r}; choose from {sorted(ALL_KERNELS)}")
+    if args.clusters == 1:
+        config = unified_config()
+        scheduler = UnifiedScheduler(config)
+    else:
+        config = clustered_config(args.clusters, args.buses, args.latency)
+        scheduler = BsaScheduler(config)
+    sched = scheduler.schedule(graph)
+    verify_schedule(sched)
+    print(sched.describe())
+    print()
+    print(render_schedule(sched))
+
+
+def main(argv: list[str] | None = None) -> None:
+    parser = argparse.ArgumentParser(
+        prog="repro-vliw",
+        description="Reproduction of Sanchez & Gonzalez, ICPP 2000.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("table1").set_defaults(func=cmd_table1)
+    p = sub.add_parser("table2")
+    p.add_argument("--buses", type=int, default=1)
+    p.set_defaults(func=cmd_table2)
+    for name, func, has_quick in (
+        ("fig4", cmd_fig4, True),
+        ("fig7", cmd_fig7, False),
+        ("fig8", cmd_fig8, True),
+        ("fig9", cmd_fig9, False),
+        ("fig10", cmd_fig10, True),
+    ):
+        p = sub.add_parser(name)
+        if has_quick:
+            p.add_argument("--quick", action="store_true")
+        p.set_defaults(func=func)
+    p = sub.add_parser("schedule")
+    p.add_argument("kernel")
+    p.add_argument("--clusters", type=int, default=4)
+    p.add_argument("--buses", type=int, default=1)
+    p.add_argument("--latency", type=int, default=1)
+    p.set_defaults(func=cmd_schedule)
+
+    args = parser.parse_args(argv)
+    args.func(args)
+
+
+if __name__ == "__main__":
+    main()

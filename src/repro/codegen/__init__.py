@@ -1,0 +1,19 @@
+"""VLIW code generation and code-size accounting."""
+
+from .codesize import ZERO_SIZE, CodeSize, schedule_code_size
+from .vliw import (
+    KernelCode,
+    expand_software_pipeline,
+    generate_kernel,
+    render_schedule,
+)
+
+__all__ = [
+    "CodeSize",
+    "KernelCode",
+    "ZERO_SIZE",
+    "expand_software_pipeline",
+    "generate_kernel",
+    "render_schedule",
+    "schedule_code_size",
+]

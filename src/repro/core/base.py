@@ -1,0 +1,91 @@
+"""Scheduler driver: the II search loop shared by all algorithms.
+
+Every modulo scheduler here follows the classic iterative discipline (Rau;
+also the paper's Figure 5 step (5)): try II = MII; if any node cannot be
+placed, abandon the attempt, increment II and restart from scratch.  The
+:class:`SchedulerBase` owns that loop, the failure bookkeeping that feeds
+the paper's ``LimitedByBus`` predicate, and a generous II budget that makes
+non-termination a loud error instead of a hang.
+"""
+
+from __future__ import annotations
+
+import abc
+
+from ..arch.cluster import MachineConfig
+from ..errors import SchedulingError
+from ..ir.ddg import DependenceGraph
+from .engine import PlacementEngine
+from .mii import mii as compute_mii
+from .schedule import ModuloSchedule
+
+
+def default_ii_budget(graph: DependenceGraph, config: MachineConfig) -> int:
+    """A ceiling on II beyond which something is definitely wrong.
+
+    A fully sequential schedule (one operation per cycle, one communication
+    per value) always fits within roughly the total latency plus the total
+    communication time, so allow that plus slack.
+    """
+    total_latency = sum(op.latency for op in graph.operations())
+    comm_slack = len(graph) * (config.buses.latency + 1) if config.is_clustered else 0
+    return max(16, total_latency + comm_slack + len(graph) + 8)
+
+
+class SchedulerBase(abc.ABC):
+    """Common II-search loop; subclasses place nodes for one fixed II."""
+
+    #: Human-readable algorithm name (reports, experiment tables).
+    name: str = "base"
+
+    def __init__(self, config: MachineConfig, *, max_ii: int | None = None):
+        self.config = config
+        self.max_ii = max_ii
+
+    def schedule(self, graph: DependenceGraph) -> ModuloSchedule:
+        """Modulo-schedule *graph*, raising :class:`SchedulingError` only
+        if the II budget is exhausted (which indicates a bug or an
+        impossible machine, not a hard loop)."""
+        graph.validate()
+        if len(graph) == 0:
+            raise SchedulingError(f"graph {graph.name!r} has no operations")
+        start_ii = compute_mii(graph, self.config)
+        budget = self.max_ii or (start_ii + default_ii_budget(graph, self.config))
+        failures = []
+        stuck_count = 0
+        last_placed = -1
+        for ii in range(start_ii, budget + 1):
+            engine = PlacementEngine(graph, self.config, ii, start_ii)
+            if self._place_all(engine):
+                sched = engine.finalize()
+                sched.attempt_failures = failures
+                return sched
+            failures.append(engine.fail)
+            # Register pressure, unlike FU/bus contention, need not relent
+            # as II grows (live sets are a property of the graph, not the
+            # row count).  When progress stalls with pressure failures
+            # present, further II increments are futile — give up early so
+            # callers can fall back instead of grinding the whole budget.
+            placed = len(engine.schedule.ops)
+            if placed <= last_placed and engine.fail.register_pressure > 0:
+                stuck_count += 1
+                if stuck_count >= 8:
+                    raise SchedulingError(
+                        f"{self.name}: {graph.name!r} on {self.config.name!r} "
+                        f"is register-pressure bound (stuck at {placed}/"
+                        f"{len(graph)} ops for {stuck_count} II attempts, "
+                        f"II reached {ii})",
+                        ii_tried=ii,
+                    )
+            else:
+                stuck_count = 0
+            last_placed = max(last_placed, placed)
+        raise SchedulingError(
+            f"{self.name}: no schedule for {graph.name!r} on {self.config.name!r} "
+            f"within II <= {budget}",
+            ii_tried=budget,
+        )
+
+    @abc.abstractmethod
+    def _place_all(self, engine: PlacementEngine) -> bool:
+        """Place every node at the engine's II; False aborts the attempt."""

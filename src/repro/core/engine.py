@@ -1,0 +1,409 @@
+"""The placement engine shared by every modulo scheduler in the package.
+
+For one (graph, machine, II) triple a :class:`PlacementEngine` keeps the
+partial :class:`~repro.core.schedule.ModuloSchedule` plus the reservation
+tables, and answers the central question of cluster-aware modulo
+scheduling: *can node n be placed on cluster c, at which cycle, and with
+which bus transfers?* (:meth:`find_placement`).  Committing a placement
+atomically claims the functional unit and all planned bus slots.
+
+Timing windows follow Swing Modulo Scheduling: a node with scheduled
+predecessors only is scanned forward from its earliest feasible cycle; one
+with scheduled successors only is scanned backward from its latest; one
+with both is scanned inside the closed interval; an unconstrained node
+starts at its resource-free ASAP.  Scans cover at most II consecutive
+cycles — placements repeat modulo II, so a longer scan cannot succeed.
+
+Cycles may be negative during construction (backward scans); completed
+schedules are normalised by a multiple of II so all cycles are >= 0.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..arch.cluster import MachineConfig
+from ..errors import SchedulingError
+from ..ir.ddg import DependenceGraph
+from .comm import AddReader, CommPlan, NewTransfer, empty_plan
+from .lifetimes import cluster_pressures
+from .mrt import ReservationTable
+from .schedule import Communication, FailureLog, ModuloSchedule, ScheduledOp
+from .sms import compute_timings
+
+
+class FailReason(enum.Enum):
+    """Why a node could not be placed."""
+
+    NO_FU = "no free functional unit"
+    NO_BUS = "no bus slot for a required communication"
+    REG_PRESSURE = "register requirements exceed the local file"
+    WINDOW = "dependence window empty"
+
+    def record(self, log: FailureLog) -> None:
+        if self is FailReason.NO_FU:
+            log.no_fu += 1
+        elif self is FailReason.NO_BUS:
+            log.no_bus += 1
+        elif self is FailReason.REG_PRESSURE:
+            log.register_pressure += 1
+        else:
+            log.dependence_window += 1
+
+
+@dataclass
+class Placement:
+    """A feasible (node, cluster, cycle) choice plus its bus actions."""
+
+    node: int
+    cluster: int
+    cycle: int
+    comm_plan: CommPlan
+
+
+class PlacementEngine:
+    """Partial-schedule state and placement search for one II attempt."""
+
+    def __init__(
+        self,
+        graph: DependenceGraph,
+        config: MachineConfig,
+        ii: int,
+        mii: int,
+    ):
+        self.graph = graph
+        self.config = config
+        self.ii = ii
+        self.schedule = ModuloSchedule(graph, config, ii, mii=mii)
+        self.mrt = ReservationTable(config, ii)
+        self.fail = FailureLog()
+        self._timings = compute_timings(graph, ii)
+        self._bus_latency = config.buses.latency
+
+    # ------------------------------------------------------------------
+    # Dependence windows
+    # ------------------------------------------------------------------
+    def window(self, node: int, cluster: int) -> tuple[int | None, int | None]:
+        """(early, late) bounds from scheduled neighbours; None = unbounded.
+
+        Cross-cluster flow edges account for the bus latency; the *early*
+        bound is optimistic about bus availability (the scan verifies the
+        actual slots).
+        """
+        sched = self.schedule
+        early: int | None = None
+        late: int | None = None
+        for dep in self.graph.predecessors(node):
+            if dep.src == node or not sched.is_scheduled(dep.src):
+                continue
+            placed = sched.ops[dep.src]
+            bound = placed.cycle + dep.latency - self.ii * dep.distance
+            if dep.moves_value and placed.cluster != cluster:
+                ready = placed.cycle + self.graph.operation(dep.src).latency
+                arrivals = [
+                    c.arrival(self._bus_latency) for c in sched.comms_for(dep.src)
+                ]
+                arrivals.append(ready + self._bus_latency)  # a fresh transfer
+                bound = max(bound, min(arrivals) - self.ii * dep.distance)
+            early = bound if early is None else max(early, bound)
+        for dep in self.graph.successors(node):
+            if dep.dst == node or not sched.is_scheduled(dep.dst):
+                continue
+            placed = sched.ops[dep.dst]
+            bound = placed.cycle + self.ii * dep.distance - dep.latency
+            if dep.moves_value and placed.cluster != cluster:
+                bound = min(
+                    bound,
+                    placed.cycle
+                    + self.ii * dep.distance
+                    - self._bus_latency
+                    - self.graph.operation(node).latency,
+                )
+            late = bound if late is None else min(late, bound)
+        return early, late
+
+    def _candidate_cycles(self, node: int, cluster: int) -> list[int]:
+        """Cycles to try, nearest-to-the-schedule first.
+
+        Loop-carried edges make the raw dependence bounds loose by
+        multiples of II (a consumer may sit II*d cycles before its
+        producer and still read the value on time).  Scanning from the raw
+        bound would strand nodes far from the rest of the schedule and
+        blow up lifetimes, so scans are clamped into the node's resource-
+        free ASAP/ALAP band; since placements repeat modulo II, an II-long
+        scan still covers every reservation-table row.
+        """
+        early, late = self.window(node, cluster)
+        timing = self._timings[node]
+        if early is not None and late is not None:
+            if late < early:
+                return []
+            start = max(early, min(timing.asap, late))
+            stop = min(late, start + self.ii - 1)
+            candidates = list(range(start, stop + 1))
+            # Keep the skipped [early, start) range as a fallback so the
+            # clamp never converts a feasible window into a failure.
+            if start > early and (stop - start + 1) < self.ii:
+                tail = list(range(max(early, start - self.ii), start))
+                candidates.extend(reversed(tail))
+            return candidates
+        if early is not None:
+            start = max(early, timing.asap)
+            return list(range(start, start + self.ii))
+        if late is not None:
+            start = min(late, timing.alap)
+            return list(range(start, start - self.ii, -1))
+        return list(range(timing.asap, timing.asap + self.ii))
+
+    # ------------------------------------------------------------------
+    # Communication planning
+    # ------------------------------------------------------------------
+    def _bus_free_with(
+        self, start_cycle: int, pending: list[NewTransfer]
+    ) -> int | None:
+        """A free bus for a transfer at *start_cycle*, also avoiding *pending*."""
+        if self.config.buses.count == 0 or self._bus_latency > self.ii:
+            return None
+        rows = set(self.mrt.bus_rows(start_cycle))
+        for bus in range(self.config.buses.count):
+            if any(
+                self.mrt._bus.cells[r][bus] is not None for r in rows
+            ):
+                continue
+            clash = False
+            for t in pending:
+                if t.bus != bus:
+                    continue
+                if rows & set(self.mrt.bus_rows(t.start_cycle)):
+                    clash = True
+                    break
+            if not clash:
+                return bus
+        return None
+
+    def _plan_transfer(
+        self,
+        producer: int,
+        src_cluster: int,
+        reader: int,
+        ready: int,
+        deadline: int,
+        plan: CommPlan,
+    ) -> bool:
+        """Ensure *producer*'s value reaches *reader* by *deadline*.
+
+        ``ready`` is the first cycle the value can be driven onto a bus;
+        the arrival (start + latbus) must be <= deadline.  Prefers reusing
+        an existing or already-planned transfer; otherwise claims a new bus
+        slot, scanning at most II start cycles.  Returns False when no bus
+        slot exists.
+        """
+        latbus = self._bus_latency
+        # Reuse a committed transfer.
+        for comm in self.schedule.comms_for(producer):
+            if comm.arrival(latbus) <= deadline and comm.start_cycle >= ready:
+                if reader in comm.readers or any(
+                    a.existing is comm and a.reader == reader
+                    for a in plan.added_readers
+                ):
+                    return True
+                plan.added_readers.append(AddReader(existing=comm, reader=reader))
+                return True
+        # Reuse a transfer planned earlier in this same placement.
+        for idx, t in enumerate(plan.new_transfers):
+            if (
+                t.producer == producer
+                and t.start_cycle >= ready
+                and t.start_cycle + latbus <= deadline
+            ):
+                if t.reader != reader:
+                    plan.added_readers.append(
+                        AddReader(existing=t.as_communication(), reader=reader)
+                    )
+                return True
+        # A fresh transfer.
+        last_start = deadline - latbus
+        if last_start < ready:
+            return False
+        stop = min(last_start, ready + self.ii - 1)
+        for start in range(ready, stop + 1):
+            bus = self._bus_free_with(start, plan.new_transfers)
+            if bus is not None:
+                plan.new_transfers.append(
+                    NewTransfer(
+                        producer=producer,
+                        src_cluster=src_cluster,
+                        bus=bus,
+                        start_cycle=start,
+                        reader=reader,
+                    )
+                )
+                return True
+        return False
+
+    def _plan_comms(self, node: int, cluster: int, cycle: int) -> CommPlan | None:
+        """All bus actions needed to place *node* at (*cluster*, *cycle*)."""
+        sched = self.schedule
+        plan = empty_plan()
+        for dep in self.graph.predecessors(node):
+            if dep.src == node or not dep.moves_value:
+                continue
+            if not sched.is_scheduled(dep.src):
+                continue
+            placed = sched.ops[dep.src]
+            if placed.cluster == cluster:
+                continue
+            ready = placed.cycle + self.graph.operation(dep.src).latency
+            deadline = cycle + self.ii * dep.distance
+            if not self._plan_transfer(
+                dep.src, placed.cluster, cluster, ready, deadline, plan
+            ):
+                return None
+        for dep in self.graph.successors(node):
+            if dep.dst == node or not dep.moves_value:
+                continue
+            if not sched.is_scheduled(dep.dst):
+                continue
+            placed = sched.ops[dep.dst]
+            if placed.cluster == cluster:
+                continue
+            ready = cycle + self.graph.operation(node).latency
+            deadline = placed.cycle + self.ii * dep.distance
+            if not self._plan_transfer(
+                node, cluster, placed.cluster, ready, deadline, plan
+            ):
+                return None
+        return plan
+
+    # ------------------------------------------------------------------
+    # Placement search
+    # ------------------------------------------------------------------
+    def find_placement(self, node: int, cluster: int) -> Placement | FailReason:
+        """First feasible cycle for *node* on *cluster*, with its bus plan.
+
+        On failure returns the dominant :class:`FailReason` (also recorded
+        into the attempt's :class:`FailureLog`).
+        """
+        op = self.graph.operation(node)
+        # Self-dependences only constrain II (lat <= II*dist); RecMII
+        # guarantees them, but custom latencies may not — check explicitly.
+        for dep in self.graph.predecessors(node):
+            if dep.src == node and dep.latency > self.ii * dep.distance:
+                self.fail.dependence_window += 1
+                return FailReason.WINDOW
+
+        candidates = self._candidate_cycles(node, cluster)
+        if not candidates:
+            self.fail.dependence_window += 1
+            return FailReason.WINDOW
+
+        worst = FailReason.WINDOW
+        for cycle in candidates:
+            if not self.mrt.fu_slot_free(cluster, op.fu_class, cycle):
+                self.fail.no_fu += 1
+                worst = _worse(worst, FailReason.NO_FU)
+                continue
+            plan = self._plan_comms(node, cluster, cycle)
+            if plan is None:
+                self.fail.no_bus += 1
+                worst = _worse(worst, FailReason.NO_BUS)
+                continue
+            if not self._pressure_ok(node, cluster, cycle, plan):
+                self.fail.register_pressure += 1
+                worst = _worse(worst, FailReason.REG_PRESSURE)
+                continue
+            return Placement(node=node, cluster=cluster, cycle=cycle, comm_plan=plan)
+        return worst
+
+    def _pressure_ok(
+        self, node: int, cluster: int, cycle: int, plan: CommPlan
+    ) -> bool:
+        sched = self.schedule
+        sched.ops[node] = ScheduledOp(node, cycle, cluster, fu_index=-1)
+        try:
+            pressures = cluster_pressures(sched, extra_comms=plan.pressure_comms())
+        finally:
+            del sched.ops[node]
+        limit = self.config.regs_per_cluster
+        return all(p <= limit for p in pressures.values())
+
+    def placement_pressure(self, placement: Placement) -> int:
+        """MaxLive of the placement's cluster if it were committed."""
+        sched = self.schedule
+        sched.ops[placement.node] = ScheduledOp(
+            placement.node, placement.cycle, placement.cluster, fu_index=-1
+        )
+        try:
+            pressures = cluster_pressures(
+                sched, extra_comms=placement.comm_plan.pressure_comms()
+            )
+        finally:
+            del sched.ops[placement.node]
+        return pressures[placement.cluster]
+
+    # ------------------------------------------------------------------
+    # Commit
+    # ------------------------------------------------------------------
+    def commit(self, placement: Placement) -> None:
+        """Claim the FU and all planned bus slots; record the placement."""
+        op = self.graph.operation(placement.node)
+        fu = self.mrt.occupy_fu(
+            placement.cluster, op.fu_class, placement.cycle, placement.node
+        )
+        self.schedule.place(
+            ScheduledOp(placement.node, placement.cycle, placement.cluster, fu)
+        )
+        for t in placement.comm_plan.new_transfers:
+            self.mrt.occupy_bus(t.start_cycle, t.bus, (t.producer, t.start_cycle))
+            self.schedule.add_comm(t.as_communication())
+        for a in placement.comm_plan.added_readers:
+            target = self._find_comm(a.existing)
+            self.schedule.replace_comm(target, target.with_reader(a.reader))
+
+    def _find_comm(self, like: Communication) -> Communication:
+        for comm in self.schedule.comms:
+            if (
+                comm.producer == like.producer
+                and comm.bus == like.bus
+                and comm.start_cycle == like.start_cycle
+            ):
+                return comm
+        raise SchedulingError(f"planned reuse of unknown communication {like}")
+
+    # ------------------------------------------------------------------
+    def finalize(self) -> ModuloSchedule:
+        """Normalise cycles to be non-negative and fill statistics."""
+        sched = self.schedule
+        if not sched.is_complete:
+            raise SchedulingError(
+                f"finalize on incomplete schedule ({len(sched.ops)}/{len(self.graph)})"
+            )
+        min_cycle = min(op.cycle for op in sched.ops.values())
+        for comm in sched.comms:
+            min_cycle = min(min_cycle, comm.start_cycle)
+        if min_cycle < 0:
+            shift = ((-min_cycle) + self.ii - 1) // self.ii * self.ii
+            sched.ops = {
+                n: ScheduledOp(o.node, o.cycle + shift, o.cluster, o.fu_index)
+                for n, o in sched.ops.items()
+            }
+            sched.comms = [
+                Communication(
+                    c.producer, c.src_cluster, c.bus, c.start_cycle + shift, c.readers
+                )
+                for c in sched.comms
+            ]
+        sched.bus_utilisation = self.mrt.bus_utilisation()
+        return sched
+
+
+def _worse(current: FailReason, new: FailReason) -> FailReason:
+    """Keep the more informative of two failure reasons."""
+    priority = {
+        FailReason.WINDOW: 0,
+        FailReason.NO_FU: 1,
+        FailReason.REG_PRESSURE: 2,
+        FailReason.NO_BUS: 3,
+    }
+    return new if priority[new] >= priority[current] else current

@@ -1,0 +1,215 @@
+"""Resource-constrained list scheduling (the no-pipelining baseline).
+
+Software pipelining exists because scheduling one iteration at a time
+leaves functional units idle during dependence latencies.  This module
+implements the classic critical-path list scheduler for a single loop
+iteration on a clustered machine: it produces a (degenerate) modulo
+schedule with II equal to the schedule length and a stage count of one,
+so every downstream model (IPC, code size, verification) applies
+unchanged.
+
+Used as the experiment harness's honest fallback for loops that cannot be
+modulo-scheduled, and by the ``bench_pipelining_gain`` study quantifying
+what modulo scheduling buys over list scheduling — the gap the paper's
+whole line of work lives in.
+
+Cluster assignment: operations greedily follow their predecessors
+(minimising communications) with ties broken by cluster load; value
+transfers reuse the same bus model as the modulo schedulers.  Within a
+single iteration every value is produced before it is consumed, so a
+feasible schedule always exists for any machine with at least one unit of
+every class used — list scheduling cannot fail on register pressure
+because at most one iteration is in flight.
+"""
+
+from __future__ import annotations
+
+from ..arch.cluster import MachineConfig
+from ..errors import SchedulingError
+from ..ir.ddg import DependenceGraph
+from .schedule import Communication, ModuloSchedule, ScheduledOp
+from .sms import topological_order
+
+
+def list_schedule(graph: DependenceGraph, config: MachineConfig) -> ModuloSchedule:
+    """Schedule one iteration of *graph* without overlapping iterations.
+
+    Returns a :class:`ModuloSchedule` whose II equals the schedule length
+    (iterations run back to back), suitable for every downstream model.
+    Loop-carried *timing* constraints are satisfied automatically (with
+    ``II = length`` every cross-iteration constraint has a whole
+    schedule's worth of slack), but carried values crossing clusters
+    still need bus transfers — added in a post-pass.
+    """
+    graph.validate()
+    if len(graph) == 0:
+        raise SchedulingError(f"graph {graph.name!r} has no operations")
+
+    order = topological_order(graph)
+    latbus = config.buses.latency
+
+    # occupancy[(cluster, fu_class)][cycle] = units busy that cycle
+    fu_busy: dict[tuple[int, object], dict[int, int]] = {}
+    bus_busy: dict[int, dict[int, bool]] = {
+        b: {} for b in range(config.buses.count)
+    }
+    placements: dict[int, ScheduledOp] = {}
+    comms: list[Communication] = []
+    cluster_load = [0] * config.n_clusters
+
+    def fu_free(cluster: int, fu_class, cycle: int) -> bool:
+        cap = config.fu_count(cluster, fu_class)
+        used = fu_busy.get((cluster, fu_class), {}).get(cycle, 0)
+        return used < cap
+
+    def claim_fu(cluster: int, fu_class, cycle: int) -> int:
+        slot = fu_busy.setdefault((cluster, fu_class), {})
+        index = slot.get(cycle, 0)
+        slot[cycle] = index + 1
+        return index
+
+    def find_bus(
+        start: int, pending: list[Communication]
+    ) -> tuple[int, int] | None:
+        """Earliest (bus, cycle >= start) with latbus free cycles, also
+        avoiding transfers planned earlier in this same placement."""
+
+        def clashes(b: int, t: int) -> bool:
+            if any(bus_busy[b].get(t + k, False) for k in range(latbus)):
+                return True
+            for c in pending:
+                if c.bus != b:
+                    continue
+                if t < c.start_cycle + latbus and c.start_cycle < t + latbus:
+                    return True
+            return False
+
+        for t in range(start, start + 4 * latbus + 64):
+            for b in range(config.buses.count):
+                if not clashes(b, t):
+                    return b, t
+        return None
+
+    for node in order:
+        op = graph.operation(node)
+        # cluster choice: follow predecessors, then least load
+        pred_clusters: dict[int, int] = {}
+        ready = 0
+        for dep in graph.predecessors(node):
+            if dep.distance > 0 or dep.src == node:
+                continue  # carried deps are free at II = length
+            placed = placements[dep.src]
+            pred_clusters[placed.cluster] = pred_clusters.get(placed.cluster, 0) + 1
+            ready = max(ready, placed.cycle + dep.latency)
+        candidates = sorted(
+            config.clusters(),
+            key=lambda c: (-pred_clusters.get(c, 0), cluster_load[c], c),
+        )
+
+        best: tuple[int, int, list[Communication]] | None = None
+        for cluster in candidates:
+            if config.fu_count(cluster, op.fu_class) == 0:
+                continue
+            # communications for remote predecessors
+            new_comms: list[Communication] = []
+            earliest = ready
+            feasible = True
+            for dep in graph.predecessors(node):
+                if dep.distance > 0 or dep.src == node or not dep.moves_value:
+                    continue
+                placed = placements[dep.src]
+                if placed.cluster == cluster:
+                    continue
+                existing = next(
+                    (
+                        c
+                        for c in comms + new_comms
+                        if c.producer == dep.src
+                    ),
+                    None,
+                )
+                if existing is not None:
+                    arrival = existing.arrival(latbus)
+                    if cluster not in existing.readers:
+                        updated = existing.with_reader(cluster)
+                        if existing in comms:
+                            comms[comms.index(existing)] = updated
+                        else:
+                            new_comms[new_comms.index(existing)] = updated
+                    earliest = max(earliest, arrival)
+                    continue
+                produced = placed.cycle + graph.operation(dep.src).latency
+                found = find_bus(produced, new_comms)
+                if found is None:
+                    feasible = False
+                    break
+                bus, start = found
+                new_comms.append(
+                    Communication(
+                        dep.src, placed.cluster, bus, start, frozenset({cluster})
+                    )
+                )
+                earliest = max(earliest, start + latbus)
+            if not feasible:
+                continue
+            cycle = earliest
+            while not fu_free(cluster, op.fu_class, cycle):
+                cycle += 1
+            if best is None or cycle < best[0]:
+                best = (cycle, cluster, new_comms)
+            if cycle == ready:
+                break  # cannot do better
+        if best is None:
+            raise SchedulingError(
+                f"list scheduler: no cluster can run {op} on {config.name!r}"
+            )
+        cycle, cluster, new_comms = best
+        for comm in new_comms:
+            for k in range(latbus):
+                bus_busy[comm.bus][comm.start_cycle + k] = True
+            comms.append(comm)
+        unit = claim_fu(cluster, op.fu_class, cycle)
+        placements[node] = ScheduledOp(node, cycle, cluster, unit)
+        cluster_load[cluster] += 1
+
+    # Post-pass: carried cross-cluster flow deps still need their value
+    # moved, even though II = length gives them full timing slack.  Any
+    # transfer inside the final length meets the deadline automatically:
+    # consumer + d*II >= II >= arrival.
+    for dep in graph.edges:
+        if not dep.moves_value or dep.distance == 0 or dep.src == dep.dst:
+            continue
+        src = placements[dep.src]
+        dst = placements[dep.dst]
+        if src.cluster == dst.cluster:
+            continue
+        existing = next((c for c in comms if c.producer == dep.src), None)
+        if existing is not None:
+            if dst.cluster not in existing.readers:
+                comms[comms.index(existing)] = existing.with_reader(dst.cluster)
+            continue
+        produced = src.cycle + graph.operation(dep.src).latency
+        found = find_bus(produced, [])
+        if found is None:  # pragma: no cover - bus search window is generous
+            raise SchedulingError(
+                f"list scheduler: no bus slot for carried value {dep}"
+            )
+        bus, start = found
+        comm = Communication(
+            dep.src, src.cluster, bus, start, frozenset({dst.cluster})
+        )
+        for k in range(latbus):
+            bus_busy[bus][start + k] = True
+        comms.append(comm)
+
+    length = max(
+        [p.cycle + graph.operation(n).latency for n, p in placements.items()]
+        + [c.start_cycle + latbus for c in comms]
+        + [1]
+    )
+    sched = ModuloSchedule(graph, config, ii=length, mii=length)
+    for placed in placements.values():
+        sched.place(placed)
+    for comm in comms:
+        sched.add_comm(comm)
+    return sched

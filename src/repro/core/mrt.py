@@ -1,0 +1,151 @@
+"""Modulo reservation tables (MRT).
+
+An MRT has II rows; resource usage at absolute cycle *t* occupies row
+``t mod II``.  The machine exposes two resource groups:
+
+* one table per (cluster, FU class), with one column per unit; an
+  operation occupies a single row (units are fully pipelined);
+* one table for the buses, with one column per bus; a communication
+  occupies ``latbus`` *consecutive* rows on one bus (the bus is busy for
+  the entire communication latency, Section 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..arch.cluster import MachineConfig
+from ..errors import SchedulingError
+from ..ir.operation import FuClass
+
+
+@dataclass
+class _Grid:
+    """A small II x columns occupancy grid storing owner ids (or None)."""
+
+    rows: int
+    cols: int
+    cells: list[list[object | None]] = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.cells = [[None] * self.cols for _ in range(self.rows)]
+
+    def free_col(self, row: int, want: int = 1) -> list[int]:
+        """Columns free at *row* (up to *want* of them)."""
+        out = []
+        for c in range(self.cols):
+            if self.cells[row][c] is None:
+                out.append(c)
+                if len(out) == want:
+                    break
+        return out
+
+    def occupy(self, row: int, col: int, owner: object) -> None:
+        if self.cells[row][col] is not None:
+            raise SchedulingError(
+                f"MRT conflict: row {row} col {col} already owned by "
+                f"{self.cells[row][col]!r}"
+            )
+        self.cells[row][col] = owner
+
+    def release(self, row: int, col: int, owner: object) -> None:
+        if self.cells[row][col] != owner:
+            raise SchedulingError(
+                f"MRT release mismatch at row {row} col {col}: "
+                f"{self.cells[row][col]!r} != {owner!r}"
+            )
+        self.cells[row][col] = None
+
+    def utilisation(self) -> float:
+        if self.rows * self.cols == 0:
+            return 0.0
+        used = sum(1 for row in self.cells for cell in row if cell is not None)
+        return used / (self.rows * self.cols)
+
+
+class ReservationTable:
+    """All modulo reservation tables of one machine at one II."""
+
+    def __init__(self, config: MachineConfig, ii: int):
+        if ii < 1:
+            raise SchedulingError(f"II must be >= 1, got {ii}")
+        self.config = config
+        self.ii = ii
+        self._fu: dict[tuple[int, FuClass], _Grid] = {}
+        for cluster in config.clusters():
+            for fu_class in FuClass:
+                count = config.fu_count(cluster, fu_class)
+                self._fu[(cluster, fu_class)] = _Grid(ii, count)
+        self._bus = _Grid(ii, config.buses.count)
+
+    # -- functional units -------------------------------------------------
+    def fu_slot_free(self, cluster: int, fu_class: FuClass, cycle: int) -> bool:
+        grid = self._fu[(cluster, fu_class)]
+        return bool(grid.free_col(cycle % self.ii))
+
+    def occupy_fu(
+        self, cluster: int, fu_class: FuClass, cycle: int, owner: object
+    ) -> int:
+        """Claim a free unit; returns the unit index."""
+        grid = self._fu[(cluster, fu_class)]
+        row = cycle % self.ii
+        free = grid.free_col(row)
+        if not free:
+            raise SchedulingError(
+                f"no free {fu_class} unit in cluster {cluster} at row {row}"
+            )
+        grid.occupy(row, free[0], owner)
+        return free[0]
+
+    def release_fu(
+        self, cluster: int, fu_class: FuClass, cycle: int, unit: int, owner: object
+    ) -> None:
+        self._fu[(cluster, fu_class)].release(cycle % self.ii, unit, owner)
+
+    def fu_owner(
+        self, cluster: int, fu_class: FuClass, row: int, unit: int
+    ) -> object | None:
+        return self._fu[(cluster, fu_class)].cells[row][unit]
+
+    # -- buses --------------------------------------------------------------
+    def bus_rows(self, start_cycle: int) -> list[int]:
+        """The MRT rows a communication starting at *start_cycle* occupies."""
+        lat = self.config.buses.latency
+        return [(start_cycle + k) % self.ii for k in range(lat)]
+
+    def bus_free(self, start_cycle: int) -> int | None:
+        """A bus free for a transfer starting at *start_cycle*, else None.
+
+        A transfer needs ``latbus`` consecutive rows on the *same* bus.  A
+        transfer longer than II would collide with its own next-iteration
+        instance, so it can never fit.
+        """
+        if self.config.buses.count == 0:
+            return None
+        if self.config.buses.latency > self.ii:
+            return None
+        rows = self.bus_rows(start_cycle)
+        for bus in range(self.config.buses.count):
+            if all(self._bus.cells[r][bus] is None for r in rows):
+                return bus
+        return None
+
+    def occupy_bus(self, start_cycle: int, bus: int, owner: object) -> None:
+        for r in self.bus_rows(start_cycle):
+            self._bus.occupy(r, bus, owner)
+
+    def release_bus(self, start_cycle: int, bus: int, owner: object) -> None:
+        for r in self.bus_rows(start_cycle):
+            self._bus.release(r, bus, owner)
+
+    # -- statistics ----------------------------------------------------------
+    def bus_utilisation(self) -> float:
+        """Fraction of bus rows occupied (0.0 when the machine has no buses)."""
+        return self._bus.utilisation()
+
+    def fu_utilisation(self) -> float:
+        cells = used = 0
+        for grid in self._fu.values():
+            cells += grid.rows * grid.cols
+            used += sum(1 for row in grid.cells for c in row if c is not None)
+        return used / cells if cells else 0.0

@@ -1,0 +1,32 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures without masking programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class GraphError(ReproError):
+    """A dependence graph is malformed (unknown node, bad edge, ...)."""
+
+
+class ConfigError(ReproError):
+    """A machine configuration is inconsistent or unsupported."""
+
+
+class SchedulingError(ReproError):
+    """A scheduler could not produce a valid schedule within its II budget."""
+
+    def __init__(self, message: str, *, ii_tried: int | None = None):
+        super().__init__(message)
+        #: Largest initiation interval attempted before giving up, if known.
+        self.ii_tried = ii_tried
+
+
+class VerificationError(ReproError):
+    """An independently checked schedule violated a correctness invariant."""

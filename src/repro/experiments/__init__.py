@@ -1,0 +1,66 @@
+"""Experiment harnesses for the paper's tables and figures."""
+
+from .ablation import (
+    run_default_cluster_ablation,
+    run_pipelining_gain,
+    run_register_sweep,
+    run_ordering_ablation,
+    run_selective_rule_ablation,
+    run_singlepass_ablation,
+    run_stall_sensitivity,
+    run_unroll_factor_sweep,
+)
+from .common import (
+    ExperimentContext,
+    config_label,
+    geometric_mean,
+    global_context,
+    make_scheduler,
+    paper_machine,
+    sequential_fallback,
+)
+from .fig4 import BUS_SWEEP, Fig4Point, fig4_rows, run_fig4
+from .fig7 import Fig7Case, fig7_rows, run_fig7, run_fig7_ladder
+from .fig8 import Fig8Point, average_ipc, fig8_rows, run_fig8
+from .fig9 import Fig9Point, best_speedup, fig9_rows, run_fig9
+from .fig10 import Fig10Point, fig10_rows, run_fig10
+from .tables import run_table1, run_table2
+
+__all__ = [
+    "BUS_SWEEP",
+    "ExperimentContext",
+    "Fig4Point",
+    "Fig7Case",
+    "Fig8Point",
+    "Fig9Point",
+    "Fig10Point",
+    "average_ipc",
+    "best_speedup",
+    "config_label",
+    "fig10_rows",
+    "fig4_rows",
+    "fig7_rows",
+    "fig8_rows",
+    "fig9_rows",
+    "geometric_mean",
+    "global_context",
+    "make_scheduler",
+    "paper_machine",
+    "run_fig10",
+    "run_fig4",
+    "run_fig7",
+    "run_fig7_ladder",
+    "run_fig8",
+    "run_fig9",
+    "run_default_cluster_ablation",
+    "run_pipelining_gain",
+    "run_register_sweep",
+    "run_ordering_ablation",
+    "run_selective_rule_ablation",
+    "run_singlepass_ablation",
+    "run_stall_sensitivity",
+    "run_unroll_factor_sweep",
+    "run_table1",
+    "run_table2",
+    "sequential_fallback",
+]

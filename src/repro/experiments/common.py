@@ -1,0 +1,189 @@
+"""Shared experiment harness.
+
+Runs (program suite) x (machine configuration) x (scheduler) x (unrolling
+policy) grids, with caching so the many figures that share scenario points
+never schedule the same loop twice in one process.
+
+Fallback: a loop that cannot be modulo-scheduled under a configuration
+(e.g. register-pressure-impossible with no spill code) is charged a
+classic *list schedule* of one iteration (II = schedule length, SC = 1) —
+what a compiler emits when it skips software pipelining.  Fallbacks are
+counted and reported; on the shipped workloads none trigger, but they keep
+custom workloads from aborting a whole experiment.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..arch.cluster import MachineConfig
+from ..arch.configs import clustered_config, unified_config
+from ..core.base import SchedulerBase
+from ..core.bsa import BsaScheduler
+from ..core.list_schedule import list_schedule
+from ..core.selective import (
+    ScheduledLoopResult,
+    SelectiveRule,
+    UnrollPolicy,
+    schedule_with_policy,
+)
+from ..core.twophase import TwoPhaseScheduler
+from ..core.unified import UnifiedScheduler
+from ..errors import SchedulingError
+from ..ir.ddg import DependenceGraph
+from ..ir.loop import Loop, Program
+from ..perf.model import ProgramPerformance, program_performance
+from ..workloads.specfp import specfp95_suite
+
+#: Scheduler factory signature: config -> scheduler.
+SchedulerFactory = Callable[[MachineConfig], SchedulerBase]
+
+SCHEDULERS: dict[str, SchedulerFactory] = {
+    "bsa": lambda cfg: BsaScheduler(cfg),
+    "two-phase": lambda cfg: TwoPhaseScheduler(cfg),
+    "bsa-topo": lambda cfg: BsaScheduler(cfg, order="topo"),
+    "bsa-least-loaded": lambda cfg: BsaScheduler(
+        cfg, default_cluster_policy="least-loaded"
+    ),
+}
+
+
+def make_scheduler(name: str, config: MachineConfig) -> SchedulerBase:
+    """Instantiate a registered scheduler (unified machines always get SMS)."""
+    if config.n_clusters == 1:
+        return UnifiedScheduler(config)
+    return SCHEDULERS[name](config)
+
+
+def sequential_fallback(
+    graph: DependenceGraph, config: MachineConfig
+) -> ScheduledLoopResult:
+    """A non-pipelined stand-in schedule for loops that defeat the
+    modulo schedulers: classic list scheduling of one iteration, II =
+    schedule length, SC = 1 — what a compiler emits when it skips
+    software pipelining."""
+    sched = list_schedule(graph, config)
+    return ScheduledLoopResult(sched, 1, UnrollPolicy.NONE)
+
+
+@dataclass(frozen=True)
+class ScenarioKey:
+    """Cache key for one (loop, machine, algorithm, policy) data point."""
+
+    loop_name: str
+    config_label: str
+    scheduler: str
+    policy: UnrollPolicy
+    rule: SelectiveRule
+
+
+def config_label(config: MachineConfig) -> str:
+    """Stable cache label for a machine configuration."""
+    if not config.is_clustered:
+        return config.name
+    return f"{config.name}/b{config.buses.count}/l{config.buses.latency}"
+
+
+@dataclass
+class ExperimentContext:
+    """Scenario runner with memoisation and fallback accounting."""
+
+    suite: list[Program] = field(default_factory=specfp95_suite)
+    cache: dict[ScenarioKey, ScheduledLoopResult] = field(default_factory=dict)
+    fallbacks: list[ScenarioKey] = field(default_factory=list)
+
+    def schedule_loop(
+        self,
+        loop: Loop,
+        config: MachineConfig,
+        scheduler_name: str,
+        policy: UnrollPolicy,
+        rule: SelectiveRule = SelectiveRule.MII_UNROLLED,
+    ) -> ScheduledLoopResult:
+        key = ScenarioKey(
+            loop.name, config_label(config), scheduler_name, policy, rule
+        )
+        if key not in self.cache:
+            scheduler = make_scheduler(scheduler_name, config)
+            try:
+                self.cache[key] = schedule_with_policy(
+                    loop.graph, scheduler, policy, rule=rule
+                )
+            except SchedulingError:
+                self.fallbacks.append(key)
+                self.cache[key] = sequential_fallback(loop.graph, config)
+        return self.cache[key]
+
+    def program_ipc(
+        self,
+        program: Program,
+        config: MachineConfig,
+        scheduler_name: str,
+        policy: UnrollPolicy,
+        rule: SelectiveRule = SelectiveRule.MII_UNROLLED,
+    ) -> ProgramPerformance:
+        results = {
+            loop.name: self.schedule_loop(loop, config, scheduler_name, policy, rule)
+            for loop in program.eligible_loops()
+        }
+        return program_performance(program, results)
+
+    def suite_ipc(
+        self,
+        config: MachineConfig,
+        scheduler_name: str,
+        policy: UnrollPolicy,
+        rule: SelectiveRule = SelectiveRule.MII_UNROLLED,
+    ) -> dict[str, ProgramPerformance]:
+        return {
+            program.name: self.program_ipc(
+                program, config, scheduler_name, policy, rule
+            )
+            for program in self.suite
+        }
+
+    def average_relative_ipc(
+        self,
+        config: MachineConfig,
+        scheduler_name: str,
+        policy: UnrollPolicy,
+        rule: SelectiveRule = SelectiveRule.MII_UNROLLED,
+    ) -> float:
+        """Mean over programs of IPC(clustered)/IPC(unified) (Figures 4, 8)."""
+        unified = unified_config()
+        ratios = []
+        for program in self.suite:
+            clustered_perf = self.program_ipc(
+                program, config, scheduler_name, policy, rule
+            )
+            unified_perf = self.program_ipc(
+                program, unified, "bsa", UnrollPolicy.NONE
+            )
+            ratios.append(clustered_perf.ipc / unified_perf.ipc)
+        return sum(ratios) / len(ratios)
+
+
+#: Process-wide default context so benchmark files share the cache.
+_GLOBAL_CONTEXT: ExperimentContext | None = None
+
+
+def global_context() -> ExperimentContext:
+    """Process-wide shared context (benchmarks reuse schedules through it)."""
+    global _GLOBAL_CONTEXT
+    if _GLOBAL_CONTEXT is None:
+        _GLOBAL_CONTEXT = ExperimentContext()
+    return _GLOBAL_CONTEXT
+
+
+def geometric_mean(values: list[float]) -> float:
+    """Geometric mean (the fair average of ratios); 0.0 for empty input."""
+    if not values:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def paper_machine(n_clusters: int, n_buses: int, latency: int) -> MachineConfig:
+    """Shorthand for the paper's clustered machines with a chosen fabric."""
+    return clustered_config(n_clusters, n_buses, latency)

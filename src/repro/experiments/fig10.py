@@ -1,0 +1,96 @@
+"""Figure 10: code-size impact of the unrolling policies.
+
+Static operation counts (useful, and useful+NOP) for the clustered
+machines under the three policies, normalised to the unified machine
+without unrolling.
+
+Expected shape (paper): without unrolling NOP padding grows as latency
+rises / buses shrink (II inflates); blanket unrolling multiplies useful
+code by the unroll factor; selective unrolling sits well below blanket
+unrolling (closer to it for starved configurations, where more loops are
+bus limited), and the saving is biggest for high-bandwidth fabrics
+(2 buses, latency 1) where few loops need unrolling at all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..arch.configs import (
+    PAPER_BUS_COUNTS,
+    PAPER_BUS_LATENCIES,
+    unified_config,
+)
+from ..codegen.codesize import ZERO_SIZE, CodeSize, schedule_code_size
+from ..core.selective import UnrollPolicy
+from .common import ExperimentContext, paper_machine
+from .fig8 import POLICIES
+
+
+@dataclass(frozen=True)
+class Fig10Point:
+    n_clusters: int
+    n_buses: int
+    bus_latency: int
+    policy: UnrollPolicy
+    total_ops_ratio: float  # white bars (useful + NOP)
+    useful_ops_ratio: float  # black bars
+
+
+def _suite_code_size(
+    ctx: ExperimentContext, config, scheduler: str, policy: UnrollPolicy
+) -> CodeSize:
+    total = ZERO_SIZE
+    for program in ctx.suite:
+        for loop in program.eligible_loops():
+            result = ctx.schedule_loop(loop, config, scheduler, policy)
+            total = total + schedule_code_size(result.schedule)
+    return total
+
+
+def run_fig10(
+    ctx: ExperimentContext,
+    *,
+    cluster_counts: tuple[int, ...] = (2, 4),
+    bus_counts: tuple[int, ...] = PAPER_BUS_COUNTS,
+    latencies: tuple[int, ...] = PAPER_BUS_LATENCIES,
+    scheduler: str = "bsa",
+) -> list[Fig10Point]:
+    """Run the Figure 10 grid: normalised code size per scenario."""
+    baseline = _suite_code_size(
+        ctx, unified_config(), scheduler, UnrollPolicy.NONE
+    )
+    points = []
+    for n_clusters in cluster_counts:
+        for policy in POLICIES:
+            for n_buses in bus_counts:
+                for latency in latencies:
+                    cfg = paper_machine(n_clusters, n_buses, latency)
+                    size = _suite_code_size(ctx, cfg, scheduler, policy)
+                    total_ratio, useful_ratio = size.normalised_to(baseline)
+                    points.append(
+                        Fig10Point(
+                            n_clusters,
+                            n_buses,
+                            latency,
+                            policy,
+                            total_ratio,
+                            useful_ratio,
+                        )
+                    )
+    return points
+
+
+def fig10_rows(points: list[Fig10Point]) -> list[dict]:
+    """Figure 10 points as table rows."""
+    return [
+        {
+            "clusters": p.n_clusters,
+            "buses": p.n_buses,
+            "bus_latency": p.bus_latency,
+            "policy": str(p.policy),
+            "total_ops_ratio": p.total_ops_ratio,
+            "useful_ops_ratio": p.useful_ops_ratio,
+        }
+        for p in points
+    ]

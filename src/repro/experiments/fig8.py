@@ -1,0 +1,109 @@
+"""Figure 8: per-program IPC under the three unrolling policies.
+
+For every SPECfp95 program: IPC of the unified machine, and of the 2- and
+4-cluster machines with 1 or 2 buses at latencies 1, 2 and 4, under *No
+unrolling*, *Unrolling* (all loops, factor = cluster count) and *Selective
+unrolling* (Figure 6).
+
+Expected shape (paper): without unrolling the clustered IPC falls as buses
+shrink or slow; with unrolling it recovers to roughly unified parity (and
+occasionally above — the unified scheduler packs the first unrolled
+iteration greedily at the expense of the rest); selective unrolling tracks
+full unrolling closely; tomcatv on the 4-cluster machine is the canonical
+loser from blanket unrolling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..arch.configs import (
+    PAPER_BUS_COUNTS,
+    PAPER_BUS_LATENCIES,
+    unified_config,
+)
+from ..core.selective import UnrollPolicy
+from .common import ExperimentContext, paper_machine
+
+POLICIES = (UnrollPolicy.NONE, UnrollPolicy.ALL, UnrollPolicy.SELECTIVE)
+
+
+@dataclass(frozen=True)
+class Fig8Point:
+    program: str
+    n_clusters: int  # 1 = unified
+    n_buses: int
+    bus_latency: int
+    policy: UnrollPolicy
+    ipc: float
+
+
+def run_fig8(
+    ctx: ExperimentContext,
+    *,
+    cluster_counts: tuple[int, ...] = (2, 4),
+    bus_counts: tuple[int, ...] = PAPER_BUS_COUNTS,
+    latencies: tuple[int, ...] = PAPER_BUS_LATENCIES,
+    scheduler: str = "bsa",
+) -> list[Fig8Point]:
+    """Run the Figure 8 grid: per-program IPC for every scenario."""
+    points: list[Fig8Point] = []
+    unified = unified_config()
+    for program in ctx.suite:
+        perf = ctx.program_ipc(program, unified, scheduler, UnrollPolicy.NONE)
+        points.append(Fig8Point(program.name, 1, 0, 0, UnrollPolicy.NONE, perf.ipc))
+    for n_clusters in cluster_counts:
+        for policy in POLICIES:
+            for n_buses in bus_counts:
+                for latency in latencies:
+                    cfg = paper_machine(n_clusters, n_buses, latency)
+                    for program in ctx.suite:
+                        perf = ctx.program_ipc(program, cfg, scheduler, policy)
+                        points.append(
+                            Fig8Point(
+                                program.name,
+                                n_clusters,
+                                n_buses,
+                                latency,
+                                policy,
+                                perf.ipc,
+                            )
+                        )
+    return points
+
+
+def fig8_rows(points: list[Fig8Point]) -> list[dict]:
+    """Figure 8 points as table rows."""
+    return [
+        {
+            "program": p.program,
+            "clusters": p.n_clusters,
+            "buses": p.n_buses,
+            "bus_latency": p.bus_latency,
+            "policy": str(p.policy),
+            "ipc": p.ipc,
+        }
+        for p in points
+    ]
+
+
+def average_ipc(points: list[Fig8Point]) -> list[dict]:
+    """The AVERAGE panels of Figure 8: mean IPC per scenario."""
+    groups: dict[tuple, list[float]] = {}
+    for p in points:
+        key = (p.n_clusters, p.n_buses, p.bus_latency, p.policy)
+        groups.setdefault(key, []).append(p.ipc)
+    rows = []
+    for (clusters, buses, latency, policy), values in sorted(
+        groups.items(), key=lambda kv: (kv[0][0], str(kv[0][3]), kv[0][1], kv[0][2])
+    ):
+        rows.append(
+            {
+                "clusters": clusters,
+                "buses": buses,
+                "bus_latency": latency,
+                "policy": str(policy),
+                "mean_ipc": sum(values) / len(values),
+            }
+        )
+    return rows

@@ -1,0 +1,24 @@
+"""Tables 1 and 2 of the paper, as experiment outputs."""
+
+from __future__ import annotations
+
+from ..arch.configs import paper_configs, table1_rows
+from ..arch.timing import table2_rows
+
+
+def run_table1() -> list[dict]:
+    """Table 1: the evaluated machine configurations."""
+    return table1_rows()
+
+
+def run_table2(n_buses: int = 1) -> list[dict]:
+    """Table 2: cycle times from the Palacharla-style delay model.
+
+    Clustered machines carry *n_buses* (register-file ports depend on it).
+    """
+    configs = []
+    for cfg in paper_configs().values():
+        if cfg.is_clustered:
+            cfg = cfg.with_buses(n_buses, 1)
+        configs.append(cfg)
+    return table2_rows(configs)

@@ -1,0 +1,59 @@
+"""Loop intermediate representation: operations, dependence graphs, loops."""
+
+from .builder import LoopBuilder, Value
+from .ddg import Dependence, DependenceGraph, DepKind, merge_graphs
+from .loop import MIN_MODULO_TRIP_COUNT, Loop, Program
+from .operation import DEFAULT_CATALOG, FuClass, OpCatalog, Opcode, Operation
+from .serialize import (
+    config_from_dict,
+    config_to_dict,
+    dumps,
+    graph_from_dict,
+    graph_to_dict,
+    loads,
+    loop_from_dict,
+    loop_to_dict,
+    program_from_dict,
+    program_to_dict,
+    schedule_from_dict,
+    schedule_to_dict,
+)
+from .unroll import (
+    copy_of,
+    count_cross_copy_deps,
+    original_node,
+    unroll_graph,
+)
+
+__all__ = [
+    "DEFAULT_CATALOG",
+    "MIN_MODULO_TRIP_COUNT",
+    "Dependence",
+    "DependenceGraph",
+    "DepKind",
+    "FuClass",
+    "Loop",
+    "LoopBuilder",
+    "OpCatalog",
+    "Opcode",
+    "Operation",
+    "Program",
+    "Value",
+    "config_from_dict",
+    "config_to_dict",
+    "copy_of",
+    "dumps",
+    "graph_from_dict",
+    "graph_to_dict",
+    "loads",
+    "loop_from_dict",
+    "loop_to_dict",
+    "program_from_dict",
+    "program_to_dict",
+    "schedule_from_dict",
+    "schedule_to_dict",
+    "count_cross_copy_deps",
+    "merge_graphs",
+    "original_node",
+    "unroll_graph",
+]

@@ -1,0 +1,150 @@
+"""A small fluent DSL for writing loop bodies by hand.
+
+Example -- ``y[i] = a * x[i] + y[i]`` (daxpy)::
+
+    b = LoopBuilder("daxpy")
+    x = b.load("x[i]")
+    y = b.load("y[i]")
+    ax = b.fmul(x, b.live_in("a"), tag="a*x")
+    s = b.fadd(ax, y, tag="a*x+y")
+    b.store(s, tag="y[i]")
+    graph = b.build()
+
+Values produced outside the loop (live-ins) do not become graph nodes: they
+are loop invariants held in registers and never travel over a bus, matching
+how modulo schedulers treat invariants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import GraphError
+from .ddg import DepKind, DependenceGraph
+from .operation import DEFAULT_CATALOG, OpCatalog
+
+
+@dataclass(frozen=True)
+class Value:
+    """Handle to a value usable as an operand inside the builder."""
+
+    node_id: int | None  # None for live-ins / constants
+    tag: str = ""
+
+    @property
+    def is_live_in(self) -> bool:
+        return self.node_id is None
+
+
+class LoopBuilder:
+    """Builds a :class:`DependenceGraph` through named operation helpers."""
+
+    def __init__(self, name: str = "loop", catalog: OpCatalog = DEFAULT_CATALOG):
+        self.graph = DependenceGraph(name, catalog)
+        self._built = False
+
+    # -- operand sources -------------------------------------------------
+    def live_in(self, tag: str = "") -> Value:
+        """A loop-invariant input (no node, no dependence)."""
+        return Value(None, tag)
+
+    const = live_in  # constants behave identically
+
+    # -- generic op ------------------------------------------------------
+    def op(
+        self,
+        opcode: str,
+        *operands: Value,
+        tag: str = "",
+        carried: dict[Value, int] | None = None,
+    ) -> Value:
+        """Add an operation consuming *operands*.
+
+        ``carried`` maps an operand to a loop-carried distance: the value is
+        consumed from that many iterations ago.  Cross-iteration uses of a
+        value produced *later* in the body are expressed by calling
+        :meth:`carried_use` after both nodes exist.
+        """
+        self._check_open()
+        node = self.graph.add_operation(opcode, tag)
+        carried = carried or {}
+        for operand in operands:
+            if operand.is_live_in:
+                continue
+            distance = carried.get(operand, 0)
+            self.graph.add_dependence(operand.node_id, node, distance=distance)
+        return Value(node, tag)
+
+    # -- convenience wrappers (cover the default catalog) ----------------
+    def load(self, tag: str = "", addr: Value | None = None) -> Value:
+        args = (addr,) if addr is not None else ()
+        return self.op("load", *args, tag=tag)
+
+    def store(self, value: Value, tag: str = "", addr: Value | None = None) -> Value:
+        args = (value, addr) if addr is not None else (value,)
+        return self.op("store", *args, tag=tag)
+
+    def iadd(self, a: Value, b: Value, tag: str = "") -> Value:
+        return self.op("iadd", a, b, tag=tag)
+
+    def isub(self, a: Value, b: Value, tag: str = "") -> Value:
+        return self.op("isub", a, b, tag=tag)
+
+    def imul(self, a: Value, b: Value, tag: str = "") -> Value:
+        return self.op("imul", a, b, tag=tag)
+
+    def iaddr(self, *args: Value, tag: str = "") -> Value:
+        return self.op("iaddr", *args, tag=tag)
+
+    def fadd(self, a: Value, b: Value, tag: str = "") -> Value:
+        return self.op("fadd", a, b, tag=tag)
+
+    def fsub(self, a: Value, b: Value, tag: str = "") -> Value:
+        return self.op("fsub", a, b, tag=tag)
+
+    def fmul(self, a: Value, b: Value, tag: str = "") -> Value:
+        return self.op("fmul", a, b, tag=tag)
+
+    def fdiv(self, a: Value, b: Value, tag: str = "") -> Value:
+        return self.op("fdiv", a, b, tag=tag)
+
+    def fsqrt(self, a: Value, tag: str = "") -> Value:
+        return self.op("fsqrt", a, tag=tag)
+
+    def gen(self, *args: Value, tag: str = "") -> Value:
+        return self.op("gen", *args, tag=tag)
+
+    # -- explicit dependences --------------------------------------------
+    def carried_use(self, producer: Value, consumer: Value, distance: int) -> None:
+        """Flow dependence ``producer -> consumer`` at a carried distance.
+
+        Use for recurrences where the producing node appears after the
+        consuming node in program order (e.g. ``s`` consumed at the top of
+        the body and redefined at the bottom).
+        """
+        self._check_open()
+        if producer.is_live_in or consumer.is_live_in:
+            raise GraphError("carried_use: both endpoints must be loop operations")
+        self.graph.add_dependence(producer.node_id, consumer.node_id, distance=distance)
+
+    def mem_order(self, first: Value, second: Value, distance: int = 0) -> None:
+        """Memory-ordering edge (store/load serialisation)."""
+        self._check_open()
+        if first.is_live_in or second.is_live_in:
+            raise GraphError("mem_order: both endpoints must be loop operations")
+        self.graph.add_dependence(
+            first.node_id, second.node_id, distance=distance, kind=DepKind.MEM
+        )
+
+    # -- finalise ----------------------------------------------------------
+    def build(self, validate: bool = True) -> DependenceGraph:
+        """Return the finished graph (optionally validated)."""
+        self._check_open()
+        self._built = True
+        if validate:
+            self.graph.validate()
+        return self.graph
+
+    def _check_open(self) -> None:
+        if self._built:
+            raise GraphError("LoopBuilder already built; create a new builder")

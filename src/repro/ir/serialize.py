@@ -1,0 +1,243 @@
+"""JSON (de)serialisation of graphs, loops and schedules.
+
+Lets users persist workloads and scheduler outputs — dump a dependence
+graph from one session, inspect or re-verify a schedule in another, diff
+schedules across library versions.  The format is plain dict/JSON with a
+``"format"`` version tag; round-tripping is exact and covered by property
+tests.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING, Any
+
+from ..errors import GraphError
+from .ddg import DepKind, DependenceGraph
+from .loop import Loop, Program
+from .operation import DEFAULT_CATALOG, OpCatalog
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (avoids ir<->arch cycle)
+    from ..arch.cluster import MachineConfig
+    from ..arch.resources import FuSet
+
+FORMAT_VERSION = 1
+
+
+# ---------------------------------------------------------------------------
+# Dependence graphs
+# ---------------------------------------------------------------------------
+def graph_to_dict(graph: DependenceGraph) -> dict[str, Any]:
+    """Serialise a dependence graph to a JSON-ready dict."""
+    return {
+        "format": FORMAT_VERSION,
+        "kind": "graph",
+        "name": graph.name,
+        "operations": [
+            {"opcode": op.opcode.name, "tag": op.tag} for op in graph.operations()
+        ],
+        "dependences": [
+            {
+                "src": d.src,
+                "dst": d.dst,
+                "latency": d.latency,
+                "distance": d.distance,
+                "kind": d.kind.value,
+            }
+            for d in graph.edges
+        ],
+    }
+
+
+def graph_from_dict(
+    data: dict[str, Any], catalog: OpCatalog = DEFAULT_CATALOG
+) -> DependenceGraph:
+    """Rebuild (and validate) a graph serialised by :func:`graph_to_dict`."""
+    _check_format(data, "graph")
+    graph = DependenceGraph(data["name"], catalog)
+    for op in data["operations"]:
+        graph.add_operation(op["opcode"], op.get("tag", ""))
+    for dep in data["dependences"]:
+        graph.add_dependence(
+            dep["src"],
+            dep["dst"],
+            distance=dep["distance"],
+            kind=DepKind(dep["kind"]),
+            latency=dep["latency"],
+        )
+    graph.validate()
+    return graph
+
+
+# ---------------------------------------------------------------------------
+# Loops and programs
+# ---------------------------------------------------------------------------
+def loop_to_dict(loop: Loop) -> dict[str, Any]:
+    """Serialise a loop (graph + dynamic statistics)."""
+    return {
+        "format": FORMAT_VERSION,
+        "kind": "loop",
+        "graph": graph_to_dict(loop.graph),
+        "trip_count": loop.trip_count,
+        "times_executed": loop.times_executed,
+    }
+
+
+def loop_from_dict(
+    data: dict[str, Any], catalog: OpCatalog = DEFAULT_CATALOG
+) -> Loop:
+    """Rebuild a loop serialised by :func:`loop_to_dict`."""
+    _check_format(data, "loop")
+    return Loop(
+        graph=graph_from_dict(data["graph"], catalog),
+        trip_count=data["trip_count"],
+        times_executed=data["times_executed"],
+    )
+
+
+def program_to_dict(program: Program) -> dict[str, Any]:
+    """Serialise a program (a named set of loops)."""
+    return {
+        "format": FORMAT_VERSION,
+        "kind": "program",
+        "name": program.name,
+        "loops": [loop_to_dict(lp) for lp in program.loops],
+    }
+
+
+def program_from_dict(
+    data: dict[str, Any], catalog: OpCatalog = DEFAULT_CATALOG
+) -> Program:
+    """Rebuild a program serialised by :func:`program_to_dict`."""
+    _check_format(data, "program")
+    return Program(
+        name=data["name"],
+        loops=[loop_from_dict(lp, catalog) for lp in data["loops"]],
+    )
+
+
+# ---------------------------------------------------------------------------
+# Machine configurations and schedules
+# ---------------------------------------------------------------------------
+def config_to_dict(config: "MachineConfig") -> dict[str, Any]:
+    """Serialise a machine configuration (homogeneous or not)."""
+    return {
+        "format": FORMAT_VERSION,
+        "kind": "machine",
+        "name": config.name,
+        "n_clusters": config.n_clusters,
+        "fu_per_cluster": _fuset(config.fu_per_cluster),
+        "regs_per_cluster": config.regs_per_cluster,
+        "buses": {"count": config.buses.count, "latency": config.buses.latency},
+        "cluster_fus": (
+            [_fuset(f) for f in config.cluster_fus]
+            if config.cluster_fus is not None
+            else None
+        ),
+    }
+
+
+def config_from_dict(data: dict[str, Any]) -> "MachineConfig":
+    """Rebuild a machine configuration serialised by :func:`config_to_dict`."""
+    from ..arch.cluster import MachineConfig
+    from ..arch.resources import BusSpec
+
+    _check_format(data, "machine")
+    cluster_fus = data.get("cluster_fus")
+    return MachineConfig(
+        name=data["name"],
+        n_clusters=data["n_clusters"],
+        fu_per_cluster=_unfuset(data["fu_per_cluster"]),
+        regs_per_cluster=data["regs_per_cluster"],
+        buses=BusSpec(data["buses"]["count"], data["buses"]["latency"]),
+        cluster_fus=(
+            tuple(_unfuset(f) for f in cluster_fus) if cluster_fus else None
+        ),
+    )
+
+
+def schedule_to_dict(schedule) -> dict[str, Any]:
+    """Serialise a :class:`~repro.core.schedule.ModuloSchedule`."""
+    return {
+        "format": FORMAT_VERSION,
+        "kind": "schedule",
+        "graph": graph_to_dict(schedule.graph),
+        "machine": config_to_dict(schedule.config),
+        "ii": schedule.ii,
+        "mii": schedule.mii,
+        "operations": [
+            {
+                "node": op.node,
+                "cycle": op.cycle,
+                "cluster": op.cluster,
+                "fu_index": op.fu_index,
+            }
+            for op in schedule.ops.values()
+        ],
+        "communications": [
+            {
+                "producer": c.producer,
+                "src_cluster": c.src_cluster,
+                "bus": c.bus,
+                "start_cycle": c.start_cycle,
+                "readers": sorted(c.readers),
+            }
+            for c in schedule.comms
+        ],
+    }
+
+
+def schedule_from_dict(data: dict[str, Any], catalog: OpCatalog = DEFAULT_CATALOG):
+    """Rebuild a schedule; callers typically re-verify it afterwards."""
+    from ..core.schedule import Communication, ModuloSchedule, ScheduledOp
+
+    _check_format(data, "schedule")
+    graph = graph_from_dict(data["graph"], catalog)
+    config = config_from_dict(data["machine"])
+    schedule = ModuloSchedule(graph, config, data["ii"], mii=data["mii"])
+    for op in data["operations"]:
+        schedule.place(
+            ScheduledOp(op["node"], op["cycle"], op["cluster"], op["fu_index"])
+        )
+    for c in data["communications"]:
+        schedule.add_comm(
+            Communication(
+                c["producer"],
+                c["src_cluster"],
+                c["bus"],
+                c["start_cycle"],
+                frozenset(c["readers"]),
+            )
+        )
+    return schedule
+
+
+# ---------------------------------------------------------------------------
+def dumps(obj_dict: dict[str, Any]) -> str:
+    """JSON text for any dict produced by the *_to_dict functions."""
+    return json.dumps(obj_dict, indent=2, sort_keys=True)
+
+
+def loads(text: str) -> dict[str, Any]:
+    """Parse JSON text back into a dict for the *_from_dict functions."""
+    return json.loads(text)
+
+
+def _fuset(f: "FuSet") -> dict[str, int]:
+    return {"int": f.int_units, "fp": f.fp_units, "mem": f.mem_units}
+
+
+def _unfuset(d: dict[str, int]) -> "FuSet":
+    from ..arch.resources import FuSet
+
+    return FuSet(d["int"], d["fp"], d["mem"])
+
+
+def _check_format(data: dict[str, Any], kind: str) -> None:
+    if data.get("format") != FORMAT_VERSION:
+        raise GraphError(
+            f"unsupported format version {data.get('format')!r} "
+            f"(library supports {FORMAT_VERSION})"
+        )
+    if data.get("kind") != kind:
+        raise GraphError(f"expected a {kind!r} document, got {data.get('kind')!r}")

@@ -1,0 +1,29 @@
+"""Performance models: IPC, cycle counts, cycle-time-aware speed-ups."""
+
+from .model import (
+    PERFECT_MEMORY,
+    LoopPerformance,
+    ProgramPerformance,
+    StallModel,
+    loop_performance,
+    program_performance,
+)
+from .stats import ScheduleStats, render_reservation_table, schedule_stats
+from .report import format_series, format_table
+from .speedup import SpeedupReport, speedup_report
+
+__all__ = [
+    "LoopPerformance",
+    "PERFECT_MEMORY",
+    "ScheduleStats",
+    "StallModel",
+    "render_reservation_table",
+    "schedule_stats",
+    "ProgramPerformance",
+    "SpeedupReport",
+    "format_series",
+    "format_table",
+    "loop_performance",
+    "program_performance",
+    "speedup_report",
+]

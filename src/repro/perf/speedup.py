@@ -1,0 +1,57 @@
+"""Cycle-time-aware speed-up (Section 6.3 / Figure 9).
+
+IPC compares work per cycle; real performance multiplies by clock
+frequency.  With the Palacharla-style cycle times of
+:mod:`repro.arch.timing`::
+
+    speedup = (IPC_clustered / IPC_unified) * (cycle_unified / cycle_clustered)
+
+The paper's headline: the 4-cluster, 1-bus machine with selective
+unrolling reaches ~3.6x over the unified machine on SPECfp95.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..arch.cluster import MachineConfig
+from ..arch.timing import cycle_time_ps
+
+
+@dataclass(frozen=True)
+class SpeedupReport:
+    """One clustered-vs-unified comparison point."""
+
+    clustered_name: str
+    ipc_clustered: float
+    ipc_unified: float
+    cycle_clustered_ps: float
+    cycle_unified_ps: float
+
+    @property
+    def ipc_ratio(self) -> float:
+        return self.ipc_clustered / self.ipc_unified if self.ipc_unified else 0.0
+
+    @property
+    def clock_ratio(self) -> float:
+        return self.cycle_unified_ps / self.cycle_clustered_ps
+
+    @property
+    def speedup(self) -> float:
+        return self.ipc_ratio * self.clock_ratio
+
+
+def speedup_report(
+    clustered: MachineConfig,
+    unified: MachineConfig,
+    ipc_clustered: float,
+    ipc_unified: float,
+) -> SpeedupReport:
+    """Combine measured IPCs with modelled cycle times."""
+    return SpeedupReport(
+        clustered_name=clustered.name,
+        ipc_clustered=ipc_clustered,
+        ipc_unified=ipc_unified,
+        cycle_clustered_ps=cycle_time_ps(clustered),
+        cycle_unified_ps=cycle_time_ps(unified),
+    )

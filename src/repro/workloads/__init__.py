@@ -1,0 +1,20 @@
+"""Workloads: classic kernels, the synthetic generator, the SPECfp95 suite."""
+
+from .generator import LoopShape, RecurrenceSpec, generate_loop
+from .kernels import ALL_KERNELS, figure7_graph
+from .livermore import LIVERMORE_KERNELS, RECURRENCE_BOUND, livermore_program
+from .specfp import PROGRAM_NAMES, build_program, specfp95_suite
+
+__all__ = [
+    "ALL_KERNELS",
+    "LIVERMORE_KERNELS",
+    "RECURRENCE_BOUND",
+    "livermore_program",
+    "LoopShape",
+    "PROGRAM_NAMES",
+    "RecurrenceSpec",
+    "build_program",
+    "figure7_graph",
+    "generate_loop",
+    "specfp95_suite",
+]

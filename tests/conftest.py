@@ -1,0 +1,33 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch.configs import (
+    four_cluster_config,
+    two_cluster_config,
+    unified_config,
+)
+from repro.workloads.kernels import ALL_KERNELS
+
+
+@pytest.fixture
+def unified():
+    return unified_config()
+
+
+@pytest.fixture
+def two_cluster():
+    return two_cluster_config(n_buses=1, bus_latency=1)
+
+
+@pytest.fixture
+def four_cluster():
+    return four_cluster_config(n_buses=1, bus_latency=1)
+
+
+@pytest.fixture(params=sorted(ALL_KERNELS))
+def kernel_graph(request):
+    """Every hand-written kernel, one at a time."""
+    return ALL_KERNELS[request.param]()

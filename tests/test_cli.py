@@ -1,0 +1,54 @@
+"""Tests for the repro-vliw command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCliTables:
+    def test_table1(self, capsys):
+        main(["table1"])
+        out = capsys.readouterr().out
+        assert "unified" in out
+        assert "4-cluster" in out
+
+    def test_table2(self, capsys):
+        main(["table2"])
+        out = capsys.readouterr().out
+        assert "cycle" in out.lower()
+        assert "1520" in out  # unified cycle time
+
+    def test_table2_buses_flag(self, capsys):
+        main(["table2", "--buses", "2"])
+        out = capsys.readouterr().out
+        assert "cycle" in out.lower()
+
+
+class TestCliFigures:
+    def test_fig7(self, capsys):
+        main(["fig7"])
+        out = capsys.readouterr().out
+        assert "no unrolling" in out
+        assert "unrolled x2" in out
+        assert "ladder" in out
+
+
+class TestCliSchedule:
+    def test_schedule_kernel(self, capsys):
+        main(["schedule", "daxpy", "--clusters", "2"])
+        out = capsys.readouterr().out
+        assert "II=" in out
+        assert "kernel" in out
+
+    def test_schedule_unified(self, capsys):
+        main(["schedule", "dot", "--clusters", "1"])
+        out = capsys.readouterr().out
+        assert "II=3" in out  # serial reduction: RecMII
+
+    def test_unknown_kernel_exits(self):
+        with pytest.raises(SystemExit):
+            main(["schedule", "nonsense"])
+
+    def test_missing_command_exits(self):
+        with pytest.raises(SystemExit):
+            main([])

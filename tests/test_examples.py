@@ -1,0 +1,62 @@
+"""Smoke tests: every example script runs to completion.
+
+Examples are user-facing documentation; a broken example is a broken
+deliverable.  ``design_space``/``codesize_study`` are exercised through
+their ``main()`` with the smallest program to stay fast.
+"""
+
+import pathlib
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str, argv: list[str] | None = None):
+    path = EXAMPLES / f"{name}.py"
+    old_argv = sys.argv
+    sys.argv = [str(path)] + (argv or [])
+    try:
+        runpy.run_path(str(path), run_name="__main__")
+    finally:
+        sys.argv = old_argv
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        run_example("quickstart")
+        out = capsys.readouterr().out
+        assert "unified" in out
+        assert "kernel" in out
+
+    def test_unrolling_walkthrough(self, capsys):
+        run_example("unrolling_walkthrough")
+        out = capsys.readouterr().out
+        assert "unrolled x2" in out
+        assert "unified parity" in out
+
+    def test_custom_kernel(self, capsys):
+        run_example("custom_kernel")
+        out = capsys.readouterr().out
+        assert "RecMII" in out
+        assert "declined" in out
+
+    def test_heterogeneous_machine(self, capsys):
+        run_example("heterogeneous_machine")
+        out = capsys.readouterr().out
+        assert "fp-island" in out
+        assert "balanced" in out
+
+    @pytest.mark.slow
+    def test_codesize_study(self, capsys):
+        run_example("codesize_study", ["swim"])
+        out = capsys.readouterr().out
+        assert "selective-unrolling" in out
+
+    @pytest.mark.slow
+    def test_design_space(self, capsys):
+        run_example("design_space", ["apsi"])
+        out = capsys.readouterr().out
+        assert "best point" in out

@@ -1,0 +1,74 @@
+"""Unit tests for the figure data-shaping helpers (no scheduling involved)."""
+
+from repro.core.selective import UnrollPolicy
+from repro.experiments.fig4 import Fig4Point, fig4_rows
+from repro.experiments.fig8 import Fig8Point, average_ipc, fig8_rows
+from repro.experiments.fig9 import Fig9Point, best_speedup, fig9_rows
+from repro.experiments.fig10 import Fig10Point, fig10_rows
+from repro.perf.speedup import SpeedupReport
+
+
+class TestFig4Rows:
+    def test_rows_carry_all_fields(self):
+        points = [Fig4Point(2, "bsa", 1, 4, 0.95)]
+        rows = fig4_rows(points)
+        assert rows == [
+            {
+                "clusters": 2,
+                "algorithm": "bsa",
+                "bus_latency": 1,
+                "buses": 4,
+                "relative_ipc": 0.95,
+            }
+        ]
+
+
+class TestFig8Helpers:
+    def points(self):
+        return [
+            Fig8Point("a", 4, 1, 1, UnrollPolicy.NONE, 2.0),
+            Fig8Point("b", 4, 1, 1, UnrollPolicy.NONE, 4.0),
+            Fig8Point("a", 4, 1, 1, UnrollPolicy.ALL, 5.0),
+            Fig8Point("b", 4, 1, 1, UnrollPolicy.ALL, 7.0),
+        ]
+
+    def test_average_groups_by_scenario(self):
+        rows = average_ipc(self.points())
+        means = {(r["policy"]): r["mean_ipc"] for r in rows}
+        assert means[str(UnrollPolicy.NONE)] == 3.0
+        assert means[str(UnrollPolicy.ALL)] == 6.0
+
+    def test_rows_format(self):
+        rows = fig8_rows(self.points())
+        assert len(rows) == 4
+        assert rows[0]["program"] == "a"
+        assert rows[0]["policy"] == str(UnrollPolicy.NONE)
+
+
+class TestFig9Helpers:
+    def report(self, ipc_c, cyc_c):
+        return SpeedupReport("4c", ipc_c, 5.0, cyc_c, 1500.0)
+
+    def test_best_speedup(self):
+        points = [
+            Fig9Point(2, 1, "NU", self.report(4.0, 750.0)),  # 0.8 * 2 = 1.6
+            Fig9Point(4, 1, "SU", self.report(4.8, 420.0)),  # 0.96*3.57 = 3.43
+        ]
+        best = best_speedup(points)
+        assert best.n_clusters == 4
+        assert best.report.speedup > 3
+
+    def test_rows_expose_ratios(self):
+        rows = fig9_rows([Fig9Point(4, 1, "SU", self.report(5.0, 750.0))])
+        assert rows[0]["ipc_ratio"] == 1.0
+        assert rows[0]["clock_ratio"] == 2.0
+        assert rows[0]["speedup"] == 2.0
+
+
+class TestFig10Rows:
+    def test_rows_format(self):
+        points = [Fig10Point(4, 1, 1, UnrollPolicy.SELECTIVE, 1.5, 1.2)]
+        rows = fig10_rows(points)
+        assert rows[0]["total_ops_ratio"] == 1.5
+        assert rows[0]["useful_ops_ratio"] == 1.2
+        assert rows[0]["policy"] == str(UnrollPolicy.SELECTIVE)

@@ -1,0 +1,115 @@
+"""Unit tests for the modulo reservation table."""
+
+import pytest
+
+from repro.arch.configs import four_cluster_config, two_cluster_config, unified_config
+from repro.core.mrt import ReservationTable
+from repro.errors import SchedulingError
+from repro.ir.operation import FuClass
+
+
+class TestFuTables:
+    def test_occupy_and_conflict(self):
+        mrt = ReservationTable(four_cluster_config(), ii=4)
+        unit = mrt.occupy_fu(0, FuClass.FP, 2, "a")
+        assert unit == 0
+        assert not mrt.fu_slot_free(0, FuClass.FP, 2)
+        with pytest.raises(SchedulingError):
+            mrt.occupy_fu(0, FuClass.FP, 2, "b")
+
+    def test_modulo_wrapping(self):
+        mrt = ReservationTable(four_cluster_config(), ii=3)
+        mrt.occupy_fu(0, FuClass.INT, 1, "a")
+        # cycle 4 maps to row 1 -> occupied
+        assert not mrt.fu_slot_free(0, FuClass.INT, 4)
+        assert mrt.fu_slot_free(0, FuClass.INT, 5)
+
+    def test_negative_cycles_wrap(self):
+        mrt = ReservationTable(four_cluster_config(), ii=4)
+        mrt.occupy_fu(0, FuClass.MEM, -1, "a")  # row 3
+        assert not mrt.fu_slot_free(0, FuClass.MEM, 3)
+
+    def test_units_fill_in_order(self):
+        mrt = ReservationTable(unified_config(), ii=2)
+        units = [mrt.occupy_fu(0, FuClass.FP, 0, f"op{i}") for i in range(4)]
+        assert units == [0, 1, 2, 3]
+        assert not mrt.fu_slot_free(0, FuClass.FP, 0)
+        assert mrt.fu_slot_free(0, FuClass.FP, 1)
+
+    def test_release(self):
+        mrt = ReservationTable(four_cluster_config(), ii=2)
+        unit = mrt.occupy_fu(1, FuClass.INT, 0, "a")
+        mrt.release_fu(1, FuClass.INT, 0, unit, "a")
+        assert mrt.fu_slot_free(1, FuClass.INT, 0)
+
+    def test_release_wrong_owner_rejected(self):
+        mrt = ReservationTable(four_cluster_config(), ii=2)
+        unit = mrt.occupy_fu(1, FuClass.INT, 0, "a")
+        with pytest.raises(SchedulingError):
+            mrt.release_fu(1, FuClass.INT, 0, unit, "b")
+
+    def test_clusters_are_independent(self):
+        mrt = ReservationTable(four_cluster_config(), ii=2)
+        mrt.occupy_fu(0, FuClass.FP, 0, "a")
+        assert mrt.fu_slot_free(1, FuClass.FP, 0)
+
+    def test_bad_ii_rejected(self):
+        with pytest.raises(SchedulingError):
+            ReservationTable(unified_config(), ii=0)
+
+
+class TestBusTables:
+    def test_bus_latency_rows(self):
+        cfg = two_cluster_config(n_buses=1, bus_latency=2)
+        mrt = ReservationTable(cfg, ii=4)
+        assert mrt.bus_rows(3) == [3, 0]  # wraps
+
+    def test_occupy_blocks_whole_transfer(self):
+        cfg = two_cluster_config(n_buses=1, bus_latency=2)
+        mrt = ReservationTable(cfg, ii=4)
+        bus = mrt.bus_free(0)
+        assert bus == 0
+        mrt.occupy_bus(0, bus, "t0")
+        assert mrt.bus_free(0) is None  # rows 0,1 taken
+        assert mrt.bus_free(1) is None  # rows 1,2 -> 1 taken
+        assert mrt.bus_free(2) == 0  # rows 2,3 free
+
+    def test_second_bus_picked_up(self):
+        cfg = two_cluster_config(n_buses=2, bus_latency=1)
+        mrt = ReservationTable(cfg, ii=2)
+        mrt.occupy_bus(0, 0, "a")
+        assert mrt.bus_free(0) == 1
+
+    def test_transfer_longer_than_ii_impossible(self):
+        cfg = two_cluster_config(n_buses=1, bus_latency=4)
+        mrt = ReservationTable(cfg, ii=3)
+        assert mrt.bus_free(0) is None
+
+    def test_no_buses_machine(self):
+        mrt = ReservationTable(unified_config(), ii=4)
+        assert mrt.bus_free(0) is None
+        assert mrt.bus_utilisation() == 0.0
+
+    def test_release_bus(self):
+        cfg = two_cluster_config(n_buses=1, bus_latency=2)
+        mrt = ReservationTable(cfg, ii=4)
+        mrt.occupy_bus(1, 0, "t")
+        mrt.release_bus(1, 0, "t")
+        assert mrt.bus_free(1) == 0
+
+
+class TestUtilisation:
+    def test_bus_utilisation(self):
+        cfg = two_cluster_config(n_buses=1, bus_latency=2)
+        mrt = ReservationTable(cfg, ii=4)
+        mrt.occupy_bus(0, 0, "t")
+        assert mrt.bus_utilisation() == pytest.approx(0.5)
+
+    def test_fu_utilisation(self):
+        cfg = four_cluster_config()
+        mrt = ReservationTable(cfg, ii=1)
+        # 12 FU cells at II=1; occupy 3.
+        mrt.occupy_fu(0, FuClass.INT, 0, "a")
+        mrt.occupy_fu(0, FuClass.FP, 0, "b")
+        mrt.occupy_fu(1, FuClass.MEM, 0, "c")
+        assert mrt.fu_utilisation() == pytest.approx(3 / 12)

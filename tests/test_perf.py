@@ -1,0 +1,148 @@
+"""Unit tests for the performance model (NCYCLES, IPC, speed-ups)."""
+
+import pytest
+
+from repro.arch.configs import four_cluster_config, unified_config
+from repro.core.bsa import BsaScheduler
+from repro.core.selective import ScheduledLoopResult, UnrollPolicy
+from repro.core.unified import UnifiedScheduler
+from repro.ir.loop import Loop, Program
+from repro.perf.model import (
+    LoopPerformance,
+    loop_performance,
+    program_performance,
+)
+from repro.perf.report import format_series, format_table
+from repro.perf.speedup import speedup_report
+from repro.workloads.kernels import daxpy
+
+
+def make_perf(ii=2, sc=3, unroll=1, trip=100, runs=10, ops=5):
+    return LoopPerformance(
+        loop_name="l",
+        ii=ii,
+        stage_count=sc,
+        unroll_factor=unroll,
+        trip_count=trip,
+        times_executed=runs,
+        ops_per_iteration=ops,
+    )
+
+
+class TestLoopPerformance:
+    def test_paper_cycle_formula(self):
+        # NCYCLES = (NITER + SC - 1) * II
+        p = make_perf(ii=2, sc=3, trip=100, runs=1)
+        assert p.cycles_per_entry == (100 + 3 - 1) * 2
+
+    def test_unroll_divides_kernel_iterations(self):
+        p = make_perf(ii=8, sc=3, unroll=4, trip=100, runs=1)
+        assert p.kernel_iterations == 25
+        assert p.cycles_per_entry == (25 + 2) * 8
+
+    def test_unroll_remainder_charged_full_batch(self):
+        p = make_perf(ii=8, sc=3, unroll=4, trip=102, runs=1)
+        assert p.kernel_iterations == 26  # ceil(102/4)
+
+    def test_useful_operations_unroll_invariant(self):
+        base = make_perf(unroll=1)
+        unrolled = make_perf(unroll=4)
+        assert base.useful_operations == unrolled.useful_operations
+
+    def test_ipc(self):
+        p = make_perf(ii=1, sc=1, trip=10, runs=1, ops=5)
+        # cycles = (10+0)*1 = 10; ops = 50 -> IPC 5
+        assert p.ipc == pytest.approx(5.0)
+
+    def test_times_executed_scales_both(self):
+        one = make_perf(runs=1)
+        many = make_perf(runs=7)
+        assert many.total_cycles == 7 * one.total_cycles
+        assert many.ipc == pytest.approx(one.ipc)
+
+
+class TestLoopPerformanceFromSchedule:
+    def test_wiring(self, unified):
+        graph = daxpy()
+        loop = Loop(graph=graph, trip_count=100, times_executed=3)
+        sched = UnifiedScheduler(unified).schedule(graph)
+        result = ScheduledLoopResult(sched, 1, UnrollPolicy.NONE)
+        perf = loop_performance(loop, result)
+        assert perf.ii == sched.ii
+        assert perf.stage_count == sched.stage_count
+        assert perf.ops_per_iteration == len(graph)
+        assert perf.trip_count == 100
+
+    def test_unrolled_wiring(self):
+        from repro.ir.unroll import unroll_graph
+
+        cfg = four_cluster_config(1, 1)
+        graph = daxpy()
+        loop = Loop(graph=graph, trip_count=100)
+        sched = BsaScheduler(cfg).schedule(unroll_graph(graph, 4))
+        result = ScheduledLoopResult(sched, 4, UnrollPolicy.ALL)
+        perf = loop_performance(loop, result)
+        # ops per *source* iteration, not per unrolled kernel iteration
+        assert perf.ops_per_iteration == len(graph)
+        assert perf.unroll_factor == 4
+
+
+class TestProgramPerformance:
+    def test_aggregation(self, unified):
+        g = daxpy()
+        loops = [
+            Loop(graph=g, trip_count=100, times_executed=1),
+            Loop(graph=g.copy("daxpy2"), trip_count=50, times_executed=2),
+        ]
+        prog = Program("p", loops)
+        sched = UnifiedScheduler(unified).schedule(g)
+        results = {
+            lp.name: ScheduledLoopResult(sched, 1, UnrollPolicy.NONE)
+            for lp in loops
+        }
+        perf = program_performance(prog, results)
+        assert perf.total_cycles == sum(
+            loop_performance(lp, results[lp.name]).total_cycles for lp in loops
+        )
+        assert perf.ipc > 0
+
+    def test_short_loops_excluded(self, unified):
+        g = daxpy()
+        short = Loop(graph=g.copy("short"), trip_count=3)  # <= 4: excluded
+        long = Loop(graph=g, trip_count=100)
+        prog = Program("p", [short, long])
+        assert [lp.name for lp in prog.eligible_loops()] == ["daxpy"]
+
+    def test_missing_loop_is_loud(self, unified):
+        g = daxpy()
+        prog = Program("p", [Loop(graph=g, trip_count=100)])
+        with pytest.raises(KeyError):
+            program_performance(prog, {})
+
+
+class TestSpeedup:
+    def test_combines_ipc_and_clock(self):
+        report = speedup_report(
+            four_cluster_config(1, 1), unified_config(), 4.0, 5.0
+        )
+        assert report.ipc_ratio == pytest.approx(0.8)
+        assert report.clock_ratio == pytest.approx(3.62, abs=0.05)
+        assert report.speedup == pytest.approx(0.8 * report.clock_ratio)
+
+
+class TestReportFormatting:
+    def test_format_table_alignment(self):
+        rows = [{"a": 1, "bb": 2.5}, {"a": 10, "bb": 0.125}]
+        text = format_table(rows, title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert "2.500" in text and "0.125" in text
+
+    def test_format_table_empty(self):
+        assert "(empty)" in format_table([])
+
+    def test_format_series(self):
+        text = format_series("s", [(1, 0.5), (2, 0.25)])
+        assert text.startswith("s:")
+        assert "1:0.500" in text

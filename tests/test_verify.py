@@ -1,0 +1,207 @@
+"""Tests for the independent schedule verifier, including negative cases.
+
+The verifier is the safety net for the whole package, so these tests
+hand-craft *invalid* schedules and check each invariant fires.
+"""
+
+import pytest
+
+from repro.arch.configs import two_cluster_config, unified_config
+from repro.core.schedule import Communication, ModuloSchedule, ScheduledOp
+from repro.core.verify import verify_schedule
+from repro.errors import VerificationError
+from repro.ir.ddg import DependenceGraph
+
+
+def simple_graph():
+    g = DependenceGraph("pair")
+    a = g.add_operation("fadd")
+    b = g.add_operation("fadd")
+    g.add_dependence(a, b)
+    return g, a, b
+
+
+def valid_unified_schedule():
+    g, a, b = simple_graph()
+    s = ModuloSchedule(g, unified_config(), ii=4)
+    s.place(ScheduledOp(a, 0, 0, 0))
+    s.place(ScheduledOp(b, 3, 0, 0))
+    return s
+
+
+class TestAcceptsValid:
+    def test_simple_pair(self):
+        verify_schedule(valid_unified_schedule())
+
+    def test_cross_cluster_with_comm(self):
+        g, a, b = simple_graph()
+        cfg = two_cluster_config(n_buses=1, bus_latency=1)
+        s = ModuloSchedule(g, cfg, ii=4)
+        s.place(ScheduledOp(a, 0, 0, 0))
+        s.place(ScheduledOp(b, 4, 1, 0))
+        s.add_comm(Communication(a, 0, 0, 3, frozenset({1})))
+        verify_schedule(s)
+
+
+class TestCompleteness:
+    def test_missing_node(self):
+        g, a, b = simple_graph()
+        s = ModuloSchedule(g, unified_config(), ii=4)
+        s.place(ScheduledOp(a, 0, 0, 0))
+        with pytest.raises(VerificationError, match="incomplete"):
+            verify_schedule(s)
+
+
+class TestPlacementSanity:
+    def test_bad_cluster(self):
+        g, a, b = simple_graph()
+        s = ModuloSchedule(g, unified_config(), ii=4)
+        s.place(ScheduledOp(a, 0, 5, 0))
+        s.place(ScheduledOp(b, 3, 0, 0))
+        with pytest.raises(VerificationError, match="cluster"):
+            verify_schedule(s)
+
+    def test_bad_unit_index(self):
+        g, a, b = simple_graph()
+        s = ModuloSchedule(g, unified_config(), ii=4)
+        s.place(ScheduledOp(a, 0, 0, 9))
+        s.place(ScheduledOp(b, 3, 0, 0))
+        with pytest.raises(VerificationError, match="unit"):
+            verify_schedule(s)
+
+    def test_negative_cycle(self):
+        g, a, b = simple_graph()
+        s = ModuloSchedule(g, unified_config(), ii=4)
+        s.place(ScheduledOp(a, -4, 0, 0))
+        s.place(ScheduledOp(b, 3, 0, 0))
+        with pytest.raises(VerificationError, match="negative"):
+            verify_schedule(s)
+
+
+class TestResourceConflicts:
+    def test_fu_conflict_same_row(self):
+        g = DependenceGraph()
+        a = g.add_operation("fadd")
+        b = g.add_operation("fadd")
+        s = ModuloSchedule(g, unified_config(), ii=2)
+        s.place(ScheduledOp(a, 0, 0, 0))
+        s.place(ScheduledOp(b, 2, 0, 0))  # same row, same unit
+        with pytest.raises(VerificationError, match="FU conflict"):
+            verify_schedule(s)
+
+    def test_different_units_ok(self):
+        g = DependenceGraph()
+        a = g.add_operation("fadd")
+        b = g.add_operation("fadd")
+        s = ModuloSchedule(g, unified_config(), ii=2)
+        s.place(ScheduledOp(a, 0, 0, 0))
+        s.place(ScheduledOp(b, 2, 0, 1))
+        verify_schedule(s)
+
+    def test_bus_conflict(self):
+        g = DependenceGraph()
+        a = g.add_operation("fadd")
+        b = g.add_operation("fadd")
+        c = g.add_operation("fadd")
+        d = g.add_operation("fadd")
+        g.add_dependence(a, b)
+        g.add_dependence(c, d)
+        cfg = two_cluster_config(n_buses=1, bus_latency=2)
+        s = ModuloSchedule(g, cfg, ii=4)
+        s.place(ScheduledOp(a, 0, 0, 0))
+        s.place(ScheduledOp(c, 0, 0, 1))
+        s.place(ScheduledOp(b, 9, 1, 0))
+        s.place(ScheduledOp(d, 10, 1, 1))
+        s.add_comm(Communication(a, 0, 0, 3, frozenset({1})))
+        s.add_comm(Communication(c, 0, 0, 4, frozenset({1})))  # rows overlap
+        with pytest.raises(VerificationError, match="bus conflict"):
+            verify_schedule(s)
+
+    def test_comm_longer_than_ii(self):
+        g, a, b = simple_graph()
+        cfg = two_cluster_config(n_buses=1, bus_latency=4)
+        s = ModuloSchedule(g, cfg, ii=3)
+        s.place(ScheduledOp(a, 0, 0, 0))
+        s.place(ScheduledOp(b, 8, 1, 0))
+        s.add_comm(Communication(a, 0, 0, 3, frozenset({1})))
+        with pytest.raises(VerificationError, match="collides with itself"):
+            verify_schedule(s)
+
+
+class TestDependences:
+    def test_latency_violation(self):
+        g, a, b = simple_graph()
+        s = ModuloSchedule(g, unified_config(), ii=4)
+        s.place(ScheduledOp(a, 0, 0, 0))
+        s.place(ScheduledOp(b, 1, 0, 1))  # fadd needs 3 cycles
+        with pytest.raises(VerificationError, match="violated"):
+            verify_schedule(s)
+
+    def test_carried_distance_credits_ii(self):
+        g = DependenceGraph()
+        a = g.add_operation("fadd")
+        b = g.add_operation("fadd")
+        g.add_dependence(a, b, distance=1)
+        s = ModuloSchedule(g, unified_config(), ii=4)
+        s.place(ScheduledOp(a, 0, 0, 0))
+        s.place(ScheduledOp(b, 0, 0, 1))  # 0 + 4 >= 0 + 3 fine
+        verify_schedule(s)
+
+    def test_missing_communication(self):
+        g, a, b = simple_graph()
+        cfg = two_cluster_config()
+        s = ModuloSchedule(g, cfg, ii=4)
+        s.place(ScheduledOp(a, 0, 0, 0))
+        s.place(ScheduledOp(b, 4, 1, 0))
+        with pytest.raises(VerificationError, match="no communication"):
+            verify_schedule(s)
+
+    def test_late_communication(self):
+        g, a, b = simple_graph()
+        cfg = two_cluster_config(n_buses=1, bus_latency=1)
+        s = ModuloSchedule(g, cfg, ii=8)
+        s.place(ScheduledOp(a, 0, 0, 0))
+        s.place(ScheduledOp(b, 4, 1, 0))
+        s.add_comm(Communication(a, 0, 0, 6, frozenset({1})))  # arrives at 7 > 4
+        with pytest.raises(VerificationError, match="no communication"):
+            verify_schedule(s)
+
+    def test_comm_before_production(self):
+        g, a, b = simple_graph()
+        cfg = two_cluster_config(n_buses=1, bus_latency=1)
+        s = ModuloSchedule(g, cfg, ii=8)
+        s.place(ScheduledOp(a, 0, 0, 0))
+        s.place(ScheduledOp(b, 4, 1, 0))
+        s.add_comm(Communication(a, 0, 0, 1, frozenset({1})))  # result at 3
+        with pytest.raises(VerificationError, match="before the result"):
+            verify_schedule(s)
+
+    def test_comm_from_wrong_cluster(self):
+        g, a, b = simple_graph()
+        cfg = two_cluster_config(n_buses=1, bus_latency=1)
+        s = ModuloSchedule(g, cfg, ii=8)
+        s.place(ScheduledOp(a, 0, 0, 0))
+        s.place(ScheduledOp(b, 5, 1, 0))
+        s.add_comm(Communication(a, 1, 0, 4, frozenset({1})))
+        with pytest.raises(VerificationError, match="source cluster"):
+            verify_schedule(s)
+
+
+class TestRegisterPressure:
+    def test_pressure_violation_detected(self):
+        from repro.arch.cluster import MachineConfig
+        from repro.arch.resources import BusSpec, FuSet
+
+        tiny = MachineConfig("tiny", 1, FuSet(4, 4, 4), 1, BusSpec(0, 1))
+        g = DependenceGraph()
+        p1 = g.add_operation("fadd")
+        p2 = g.add_operation("fadd")
+        c = g.add_operation("fadd")
+        g.add_dependence(p1, c)
+        g.add_dependence(p2, c)
+        s = ModuloSchedule(g, tiny, ii=10)
+        s.place(ScheduledOp(p1, 0, 0, 0))
+        s.place(ScheduledOp(p2, 0, 0, 1))
+        s.place(ScheduledOp(c, 3, 0, 2))
+        with pytest.raises(VerificationError, match="registers"):
+            verify_schedule(s)
