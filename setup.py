@@ -1,3 +1,10 @@
+"""Compatibility shim — all metadata lives in pyproject.toml.
+
+Kept so ``pip install -e . --no-use-pep517`` works on machines without
+the ``wheel`` package or network access for build isolation (PEP 660
+editable installs need ``bdist_wheel``).
+"""
+
 from setuptools import setup
 
 setup()

@@ -57,6 +57,7 @@ from .errors import (
     GraphError,
     ReproError,
     SchedulingError,
+    SimulationError,
     VerificationError,
 )
 from .ir import (
@@ -74,8 +75,16 @@ from .ir import (
     count_cross_copy_deps,
     unroll_graph,
 )
+from .sim import (
+    PerfectMemory,
+    RandomMissMemory,
+    SimReport,
+    crosscheck_schedule,
+    simulate_result,
+    simulate_schedule,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "BsaScheduler",
@@ -95,17 +104,22 @@ __all__ = [
     "OpCatalog",
     "Opcode",
     "Operation",
+    "PerfectMemory",
     "Program",
+    "RandomMissMemory",
     "ReproError",
     "ScheduledLoopResult",
     "SchedulingError",
     "SelectiveRule",
+    "SimReport",
+    "SimulationError",
     "TwoPhaseScheduler",
     "UnifiedScheduler",
     "UnrollPolicy",
     "VerificationError",
     "clustered_config",
     "count_cross_copy_deps",
+    "crosscheck_schedule",
     "cycle_time_ps",
     "four_cluster_config",
     "mii",
@@ -114,6 +128,8 @@ __all__ = [
     "rec_mii",
     "res_mii",
     "schedule_with_policy",
+    "simulate_result",
+    "simulate_schedule",
     "sms_order",
     "two_cluster_config",
     "unified_config",

@@ -24,11 +24,18 @@ from .cluster import MachineConfig
 
 @dataclass(frozen=True)
 class FuSlot:
-    """One operation slot of a sub-instruction (None = NOP)."""
+    """One operation slot of a sub-instruction (None = NOP).
+
+    ``node`` and ``stage`` tie a filled slot back to the scheduled graph
+    node and its pipeline stage, so consumers of emitted code (the
+    simulator, tooling) need not parse ``op_label`` text.
+    """
 
     fu_class: FuClass
     fu_index: int
     op_label: str | None = None  # None encodes a NOP
+    node: int | None = None
+    stage: int | None = None
 
     @property
     def is_nop(self) -> bool:

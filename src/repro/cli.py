@@ -7,9 +7,12 @@ Commands map one-to-one onto the paper's artefacts::
     repro-vliw fig4  [--quick]     # bus-sensitivity sweep
     repro-vliw fig7                # unrolling walk-through examples
     repro-vliw fig8  [--quick]     # per-program IPC grid
-    repro-vliw fig9                # cycle-time-aware speed-ups
+    repro-vliw fig9  [--quick]     # cycle-time-aware speed-ups
     repro-vliw fig10 [--quick]     # code-size impact
     repro-vliw schedule KERNEL     # schedule a named kernel and print it
+    repro-vliw simulate KERNEL [--niter N] [--miss-rate R]
+                                   # execute the emitted code cycle by cycle
+    repro-vliw crossval [--quick]  # Figure 8 grid re-run under simulation
 
 ``--quick`` trims sweeps (fewer bus counts / cluster counts) for fast
 inspection; full runs regenerate exactly what EXPERIMENTS.md records.
@@ -25,15 +28,20 @@ from .codegen.vliw import render_schedule
 from .core.bsa import BsaScheduler
 from .core.unified import UnifiedScheduler
 from .core.verify import verify_schedule
+from .errors import ReproError
 from .experiments import (
     ExperimentContext,
     average_ipc,
     best_speedup,
+    crossval_rows,
     fig4_rows,
     fig7_rows,
     fig8_rows,
     fig9_rows,
     fig10_rows,
+    max_cycle_divergence,
+    max_ipc_divergence,
+    run_crossval,
     run_fig4,
     run_fig7,
     run_fig7_ladder,
@@ -43,8 +51,10 @@ from .experiments import (
     run_table1,
     run_table2,
 )
+from .ir.unroll import unroll_graph
 from .perf.report import format_table
-from .workloads.kernels import ALL_KERNELS
+from .sim import PerfectMemory, RandomMissMemory, crosscheck_schedule
+from .workloads.kernels import resolve_kernel
 
 
 def _ctx() -> ExperimentContext:
@@ -85,8 +95,11 @@ def cmd_fig8(args: argparse.Namespace) -> None:
     print(format_table(average_ipc(points), title="Figure 8: averages"))
 
 
-def cmd_fig9(_args: argparse.Namespace) -> None:
-    points = run_fig9(_ctx())
+def cmd_fig9(args: argparse.Namespace) -> None:
+    kwargs = {}
+    if args.quick:
+        kwargs = {"cluster_counts": (4,), "bus_counts": (1,)}
+    points = run_fig9(_ctx(), **kwargs)
     print(format_table(fig9_rows(points), title="Figure 9: speed-up vs unified"))
     best = best_speedup(points)
     print(
@@ -103,11 +116,14 @@ def cmd_fig10(args: argparse.Namespace) -> None:
     print(format_table(fig10_rows(points), title="Figure 10: code size (normalised)"))
 
 
-def cmd_schedule(args: argparse.Namespace) -> None:
+def _resolve_kernel_or_exit(name: str):
     try:
-        graph = ALL_KERNELS[args.kernel]()
-    except KeyError:
-        sys.exit(f"unknown kernel {args.kernel!r}; choose from {sorted(ALL_KERNELS)}")
+        return resolve_kernel(name)[1]
+    except KeyError as exc:
+        sys.exit(str(exc.args[0]))
+
+
+def _schedule_kernel(args: argparse.Namespace, graph):
     if args.clusters == 1:
         config = unified_config()
         scheduler = UnifiedScheduler(config)
@@ -116,9 +132,61 @@ def cmd_schedule(args: argparse.Namespace) -> None:
         scheduler = BsaScheduler(config)
     sched = scheduler.schedule(graph)
     verify_schedule(sched)
+    return sched
+
+
+def cmd_schedule(args: argparse.Namespace) -> None:
+    factory = _resolve_kernel_or_exit(args.kernel)
+    sched = _schedule_kernel(args, factory())
     print(sched.describe())
     print()
     print(render_schedule(sched))
+
+
+def cmd_simulate(args: argparse.Namespace) -> None:
+    factory = _resolve_kernel_or_exit(args.kernel)
+    graph = factory()
+    source_ops = len(graph)
+    try:
+        if args.unroll > 1:
+            graph = unroll_graph(graph, args.unroll)
+        sched = _schedule_kernel(args, graph)
+        memory = (
+            RandomMissMemory(args.miss_rate, args.miss_penalty, args.seed)
+            if args.miss_rate > 0.0
+            else PerfectMemory()
+        )
+        check = crosscheck_schedule(
+            sched,
+            args.niter,
+            unroll_factor=args.unroll,
+            ops_per_source_iteration=source_ops,
+            memory=memory,
+        )
+    except (ValueError, ReproError) as exc:
+        sys.exit(f"simulate: {exc}")
+    print(check.report.render())
+    print()
+    print(check.render())
+
+
+def cmd_crossval(args: argparse.Namespace) -> None:
+    kwargs = {}
+    if args.quick:
+        kwargs = {"cluster_counts": (4,), "bus_counts": (1,), "latencies": (1, 4)}
+    points = run_crossval(_ctx(), **kwargs)
+    print(
+        format_table(
+            crossval_rows(points),
+            title="Cross-validation: analytic model vs simulation (Figure 8 grid)",
+            floatfmt=".3e",
+        )
+    )
+    print(
+        f"\n{len(points)} loop executions simulated; max IPC divergence "
+        f"{max_ipc_divergence(points):.3e}, max cycle divergence "
+        f"{max_cycle_divergence(points)}"
+    )
 
 
 def main(argv: list[str] | None = None) -> None:
@@ -136,8 +204,9 @@ def main(argv: list[str] | None = None) -> None:
         ("fig4", cmd_fig4, True),
         ("fig7", cmd_fig7, False),
         ("fig8", cmd_fig8, True),
-        ("fig9", cmd_fig9, False),
+        ("fig9", cmd_fig9, True),
         ("fig10", cmd_fig10, True),
+        ("crossval", cmd_crossval, True),
     ):
         p = sub.add_parser(name)
         if has_quick:
@@ -149,6 +218,17 @@ def main(argv: list[str] | None = None) -> None:
     p.add_argument("--buses", type=int, default=1)
     p.add_argument("--latency", type=int, default=1)
     p.set_defaults(func=cmd_schedule)
+    p = sub.add_parser("simulate")
+    p.add_argument("kernel")
+    p.add_argument("--niter", type=int, default=100)
+    p.add_argument("--miss-rate", type=float, default=0.0)
+    p.add_argument("--miss-penalty", type=int, default=10)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--unroll", type=int, default=1)
+    p.add_argument("--clusters", type=int, default=4)
+    p.add_argument("--buses", type=int, default=1)
+    p.add_argument("--latency", type=int, default=1)
+    p.set_defaults(func=cmd_simulate)
 
     args = parser.parse_args(argv)
     args.func(args)

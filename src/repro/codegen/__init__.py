@@ -1,6 +1,7 @@
-"""VLIW code generation and code-size accounting."""
+"""VLIW code generation, code-size accounting and execution lowering."""
 
 from .codesize import ZERO_SIZE, CodeSize, schedule_code_size
+from .linear import BusRecord, IssueRecord, LinearCode, OperandRead, linearize
 from .vliw import (
     KernelCode,
     expand_software_pipeline,
@@ -9,11 +10,16 @@ from .vliw import (
 )
 
 __all__ = [
+    "BusRecord",
     "CodeSize",
+    "IssueRecord",
     "KernelCode",
+    "LinearCode",
+    "OperandRead",
     "ZERO_SIZE",
     "expand_software_pipeline",
     "generate_kernel",
+    "linearize",
     "render_schedule",
     "schedule_code_size",
 ]

@@ -67,6 +67,9 @@ def _place_in_slot(
     fu_class: FuClass,
     fu_index: int,
     label: str,
+    *,
+    node: int | None = None,
+    stage: int | None = None,
 ) -> None:
     """Fill one FU slot of *instr* (slots are laid out INT, FP, MEM)."""
     offset = 0
@@ -78,7 +81,9 @@ def _place_in_slot(
     slots = instr.clusters[cluster].slots
     old = slots[slot_idx]
     assert old.is_nop, f"slot collision at cluster {cluster} slot {slot_idx}"
-    slots[slot_idx] = type(old)(old.fu_class, old.fu_index, label)
+    slots[slot_idx] = type(old)(
+        old.fu_class, old.fu_index, label, node=node, stage=stage
+    )
 
 
 def expand_software_pipeline(schedule: ModuloSchedule) -> list[VliwInstruction]:
@@ -115,7 +120,7 @@ def expand_software_pipeline(schedule: ModuloSchedule) -> list[VliwInstruction]:
             label = f"{op.opcode.name}.{node}"
             _place_in_slot(
                 rows[placed.cycle % ii], config, placed.cluster, op.fu_class,
-                placed.fu_index, label,
+                placed.fu_index, label, node=node, stage=stage,
             )
         out.extend(rows)
         cycle_counter += ii
@@ -133,7 +138,7 @@ def generate_kernel(schedule: ModuloSchedule) -> KernelCode:
         label = f"{op.opcode.name}.{node}" + (f"s{stage}" if stage else "")
         _place_in_slot(
             rows[placed.cycle % ii], config, placed.cluster, op.fu_class,
-            placed.fu_index, label,
+            placed.fu_index, label, node=node, stage=stage,
         )
     # Bus control fields: an OUT on the producing cluster at the start row,
     # an IN (store into register file) on every reader at the arrival row.

@@ -30,3 +30,15 @@ class SchedulingError(ReproError):
 
 class VerificationError(ReproError):
     """An independently checked schedule violated a correctness invariant."""
+
+
+class SimulationError(ReproError):
+    """Cycle-accurate execution of emitted code hit an impossible state.
+
+    Raised by :mod:`repro.sim` when the dynamic machine state contradicts
+    the schedule: an operation reading a value before its producer's
+    latency has elapsed, a bus transfer starting before its source value
+    exists, or two transfers contending for the same bus cycle.  Unlike
+    :class:`VerificationError` (a static check), this is caught while
+    actually executing the prologue/kernel/epilogue code.
+    """

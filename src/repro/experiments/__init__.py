@@ -19,6 +19,13 @@ from .common import (
     paper_machine,
     sequential_fallback,
 )
+from .crossval import (
+    CrossvalPoint,
+    crossval_rows,
+    max_cycle_divergence,
+    max_ipc_divergence,
+    run_crossval,
+)
 from .fig4 import BUS_SWEEP, Fig4Point, fig4_rows, run_fig4
 from .fig7 import Fig7Case, fig7_rows, run_fig7, run_fig7_ladder
 from .fig8 import Fig8Point, average_ipc, fig8_rows, run_fig8
@@ -28,6 +35,7 @@ from .tables import run_table1, run_table2
 
 __all__ = [
     "BUS_SWEEP",
+    "CrossvalPoint",
     "ExperimentContext",
     "Fig4Point",
     "Fig7Case",
@@ -37,6 +45,7 @@ __all__ = [
     "average_ipc",
     "best_speedup",
     "config_label",
+    "crossval_rows",
     "fig10_rows",
     "fig4_rows",
     "fig7_rows",
@@ -45,7 +54,10 @@ __all__ = [
     "geometric_mean",
     "global_context",
     "make_scheduler",
+    "max_cycle_divergence",
+    "max_ipc_divergence",
     "paper_machine",
+    "run_crossval",
     "run_fig10",
     "run_fig4",
     "run_fig7",

@@ -1,0 +1,146 @@
+"""Model cross-validation: the Figure 8 grid re-run under simulation.
+
+Every (program loop, machine, policy) point of the Figure 8 IPC grid is
+executed by the cycle-accurate simulator (:mod:`repro.sim`) under a
+perfect memory and diffed against the analytic model's cycles and IPC.
+The headline number is the **maximum IPC divergence** over the whole
+grid: the paper's closed-form results are only trustworthy if it is zero
+(to floating-point rounding), so the experiment fails loudly on any
+disagreement instead of averaging it away.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..arch.configs import (
+    PAPER_BUS_COUNTS,
+    PAPER_BUS_LATENCIES,
+    unified_config,
+)
+from ..core.selective import UnrollPolicy
+from ..errors import SimulationError
+from ..sim.crosscheck import CrossCheck, crosscheck_loop
+from .common import ExperimentContext, paper_machine
+from .fig8 import POLICIES
+
+
+@dataclass(frozen=True)
+class CrossvalPoint:
+    """One simulated grid point with its analytic counterpart."""
+
+    program: str
+    loop: str
+    n_clusters: int  # 1 = unified
+    n_buses: int
+    bus_latency: int
+    policy: UnrollPolicy
+    check: CrossCheck
+
+
+def run_crossval(
+    ctx: ExperimentContext,
+    *,
+    cluster_counts: tuple[int, ...] = (2, 4),
+    bus_counts: tuple[int, ...] = PAPER_BUS_COUNTS,
+    latencies: tuple[int, ...] = PAPER_BUS_LATENCIES,
+    scheduler: str = "bsa",
+    policies: tuple[UnrollPolicy, ...] = POLICIES,
+) -> list[CrossvalPoint]:
+    """Simulate every loop of the Figure 8 grid and diff against the model."""
+    scenarios: list[tuple[int, int, int, UnrollPolicy]] = [
+        (1, 0, 0, UnrollPolicy.NONE)
+    ]
+    scenarios.extend(
+        (n_clusters, n_buses, latency, policy)
+        for n_clusters in cluster_counts
+        for policy in policies
+        for n_buses in bus_counts
+        for latency in latencies
+    )
+    points: list[CrossvalPoint] = []
+    for n_clusters, n_buses, latency, policy in scenarios:
+        cfg = (
+            unified_config()
+            if n_clusters == 1
+            else paper_machine(n_clusters, n_buses, latency)
+        )
+        for program in ctx.suite:
+            for loop in program.eligible_loops():
+                result = ctx.schedule_loop(loop, cfg, scheduler, policy)
+                try:
+                    check = crosscheck_loop(loop, result)
+                except SimulationError as exc:  # a wrong schedule slipped through
+                    raise SimulationError(
+                        f"{program.name}/{loop.name} on {cfg.name} "
+                        f"({policy}): {exc}"
+                    ) from exc
+                points.append(
+                    CrossvalPoint(
+                        program.name,
+                        loop.name,
+                        n_clusters,
+                        n_buses,
+                        latency,
+                        policy,
+                        check,
+                    )
+                )
+    return points
+
+
+def max_ipc_divergence(points: list[CrossvalPoint]) -> float:
+    """The headline: worst analytic-vs-simulated IPC gap over the grid."""
+    return max((p.check.ipc_divergence for p in points), default=0.0)
+
+
+def max_cycle_divergence(points: list[CrossvalPoint]) -> int:
+    """Worst absolute cycle-count disagreement over the grid."""
+    return max((abs(p.check.cycle_divergence) for p in points), default=0)
+
+
+def crossval_rows(points: list[CrossvalPoint], *, per_loop: bool = False) -> list[dict]:
+    """Cross-validation summary rows (per scenario, or per loop point).
+
+    The per-scenario summary aggregates each (machine, policy) combination
+    over all loops: how many points were simulated, how many matched the
+    model exactly, and the worst divergence seen.
+    """
+    if per_loop:
+        return [
+            {
+                "program": p.program,
+                "loop": p.loop,
+                "clusters": p.n_clusters,
+                "buses": p.n_buses,
+                "bus_latency": p.bus_latency,
+                "policy": str(p.policy),
+                "analytic_cycles": p.check.analytic_cycles,
+                "simulated_cycles": p.check.simulated_cycles,
+                "analytic_ipc": p.check.analytic_ipc,
+                "simulated_ipc": p.check.simulated_ipc,
+            }
+            for p in points
+        ]
+    groups: dict[tuple, list[CrossvalPoint]] = {}
+    for p in points:
+        groups.setdefault((p.n_clusters, p.n_buses, p.bus_latency, p.policy), []).append(p)
+    rows = []
+    for (clusters, buses, latency, policy), pts in sorted(
+        groups.items(), key=lambda kv: (kv[0][0], kv[0][1], kv[0][2], str(kv[0][3]))
+    ):
+        rows.append(
+            {
+                "clusters": clusters,
+                "buses": buses,
+                "bus_latency": latency,
+                "policy": str(policy),
+                "loops": len(pts),
+                "exact": sum(1 for p in pts if p.check.exact),
+                "max_ipc_divergence": max(p.check.ipc_divergence for p in pts),
+                "max_cycle_divergence": max(
+                    abs(p.check.cycle_divergence) for p in pts
+                ),
+            }
+        )
+    return rows

@@ -6,6 +6,7 @@ from .model import (
     ProgramPerformance,
     StallModel,
     loop_performance,
+    pipeline_cycles,
     program_performance,
 )
 from .stats import ScheduleStats, render_reservation_table, schedule_stats
@@ -24,6 +25,7 @@ __all__ = [
     "format_series",
     "format_table",
     "loop_performance",
+    "pipeline_cycles",
     "program_performance",
     "speedup_report",
 ]

@@ -59,6 +59,15 @@ class StallModel:
 PERFECT_MEMORY = StallModel(0.0, 0)
 
 
+def pipeline_cycles(kernel_iterations: int, stage_count: int, ii: int) -> int:
+    """The paper's ``NCYCLES = (NITER + SC - 1) * II`` (perfect memory).
+
+    Shared between the analytic model and the simulator cross-validation
+    (:mod:`repro.sim.crosscheck`), so both sides diff against one formula.
+    """
+    return (kernel_iterations + stage_count - 1) * ii
+
+
 @dataclass(frozen=True)
 class LoopPerformance:
     """Cycles and committed operations of one loop over the whole run."""
@@ -86,7 +95,7 @@ class LoopPerformance:
     @property
     def cycles_per_entry(self) -> int:
         """NCYCLES for one entry of the loop (+ t_stall if modelled)."""
-        pipeline = (self.kernel_iterations + self.stage_count - 1) * self.ii
+        pipeline = pipeline_cycles(self.kernel_iterations, self.stage_count, self.ii)
         return pipeline + self.stall_cycles_per_entry
 
     @property

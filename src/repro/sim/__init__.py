@@ -1,0 +1,31 @@
+"""Cycle-accurate clustered-VLIW simulation.
+
+Executes the emitted software-pipelined code of a modulo schedule —
+prologue, kernel, epilogue — against per-cluster register files with
+dataflow token checking, contended broadcast buses and lock-step stall
+propagation, and cross-validates the result against the paper's analytic
+cycle model.  See :mod:`repro.sim.engine` for the execution semantics.
+"""
+
+from .crosscheck import CrossCheck, crosscheck_loop, crosscheck_schedule
+from .engine import simulate_result, simulate_schedule
+from .memory import (
+    MemoryModel,
+    PerfectMemory,
+    RandomMissMemory,
+    memory_from_stall_model,
+)
+from .report import SimReport
+
+__all__ = [
+    "CrossCheck",
+    "MemoryModel",
+    "PerfectMemory",
+    "RandomMissMemory",
+    "SimReport",
+    "crosscheck_loop",
+    "crosscheck_schedule",
+    "memory_from_stall_model",
+    "simulate_result",
+    "simulate_schedule",
+]

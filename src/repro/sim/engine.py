@@ -1,0 +1,275 @@
+"""Cycle-accurate execution of emitted software-pipelined VLIW code.
+
+The simulator runs the complete static code of a modulo schedule —
+prologue, kernel repetitions, epilogue — one VLIW instruction per cycle,
+against a machine state it maintains itself:
+
+* **Per-cluster register files with dataflow tokens.**  Every produced
+  value is a token ``(node, kernel_iteration)`` that becomes readable in
+  its cluster ``latency`` cycles after issue.  An operation (or a bus
+  transfer) reading a token that does not exist yet — or exists only in
+  another cluster — is a hard :class:`~repro.errors.SimulationError`, not
+  a warning: it means the schedule the code was generated from is wrong.
+* **Buses as contended broadcast resources.**  A transfer occupies its
+  bus for the bus latency; a second transfer starting while the bus is
+  busy is a simulation error.  Delivered tokens appear in every reader
+  cluster's file at the arrival cycle.
+* **Lock-step stall propagation.**  The clusters share one fetch stream;
+  a load miss (see :mod:`repro.sim.memory`) freezes instruction issue
+  machine-wide for the miss penalty while in-flight FU/bus pipelines
+  drain.
+
+Dynamic schedule: kernel iteration *i* of an operation at schedule cycle
+``c`` issues in II-group ``g = i + c // II`` at row ``c % II`` (see
+:mod:`repro.codegen.linear`).  A run of K kernel iterations therefore
+executes ``K + SC - 1`` groups — with a perfect memory this is exactly
+the analytic model's ``(K + SC - 1) * II`` cycles, which the
+cross-validation layer asserts rather than assumes.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..codegen.linear import linearize
+from ..core.schedule import ModuloSchedule
+from ..core.selective import ScheduledLoopResult
+from ..errors import SimulationError
+from .memory import MemoryModel, PerfectMemory
+from .report import SimReport
+
+
+class _LiveTracker:
+    """Streaming MaxLive sweep over one cluster's token lifetimes.
+
+    A token is live from the cycle it is written until its last read
+    (inclusive); a token never read occupies its register for one cycle.
+    Intervals arrive as tokens retire; events before the caller's
+    watermark (no still-active token can start earlier) are folded into
+    a running count immediately, so memory stays proportional to the
+    pipeline window instead of the whole run.
+    """
+
+    __slots__ = ("events", "live", "peak")
+
+    def __init__(self) -> None:
+        self.events: list[tuple[int, int]] = []
+        self.live = 0
+        self.peak = 0
+
+    def add(self, written: int, end: int) -> None:
+        self.events.append((written, 1))
+        self.events.append((end, -1))
+
+    def drain(self, watermark: float) -> None:
+        done = [e for e in self.events if e[0] < watermark]
+        if not done:
+            return
+        self.events = [e for e in self.events if e[0] >= watermark]
+        done.sort()
+        live, peak = self.live, self.peak
+        for _, delta in done:
+            live += delta
+            if live > peak:
+                peak = live
+        self.live, self.peak = live, peak
+
+    def finish(self) -> int:
+        self.drain(float("inf"))
+        return self.peak
+
+
+def simulate_schedule(
+    schedule: ModuloSchedule,
+    niter: int,
+    *,
+    unroll_factor: int = 1,
+    ops_per_source_iteration: int | None = None,
+    memory: MemoryModel | None = None,
+) -> SimReport:
+    """Execute *schedule* for *niter* source iterations, cycle by cycle.
+
+    *niter* counts **source** iterations; with an unrolled schedule the
+    kernel runs ``ceil(niter / unroll_factor)`` times (the final partial
+    batch runs as a full unrolled iteration, as in the analytic model).
+    ``ops_per_source_iteration`` overrides the useful-work accounting for
+    graphs whose size is not simply ``len(graph) / unroll_factor``.
+    """
+    if niter < 1:
+        raise SimulationError(f"niter must be >= 1, got {niter}")
+    if unroll_factor < 1:
+        raise SimulationError(f"unroll factor must be >= 1, got {unroll_factor}")
+    graph = schedule.graph
+    config = schedule.config
+    if ops_per_source_iteration is None:
+        if len(graph) % unroll_factor:
+            raise SimulationError(
+                f"graph has {len(graph)} ops, not a multiple of unroll factor "
+                f"{unroll_factor}; pass ops_per_source_iteration explicitly"
+            )
+        ops_per_source_iteration = len(graph) // unroll_factor
+
+    code = linearize(schedule)
+    ii = code.ii
+    sc = code.stage_count
+    latbus = config.buses.latency
+    mem = memory if memory is not None else PerfectMemory()
+    mem.reset()
+
+    kernel_iters = math.ceil(niter / unroll_factor)
+    n_groups = kernel_iters + sc - 1
+
+    # (node, kernel_iteration) -> cycle the token is readable, per cluster.
+    avail: list[dict[tuple[int, int], int]] = [{} for _ in config.clusters()]
+    last_read: list[dict[tuple[int, int], int]] = [{} for _ in config.clusters()]
+    trackers = [_LiveTracker() for _ in config.clusters()]
+    # A token of iteration i is dead once every consumer that may read it
+    # (distance <= max_distance, issuing up to SC-1 groups later) has
+    # issued — retiring it then keeps state O(pipeline window), not O(run).
+    max_distance = max(
+        (read.distance for row in code.rows for rec in row for read in rec.reads),
+        default=0,
+    )
+    retire_lag = max_distance + sc
+    bus_free_at = [0] * config.buses.count
+    bus_busy = [0] * config.buses.count
+    loads = misses = issued = stall_total = 0
+    clock = 0
+
+    def retire(cluster: int, dead_before_iter: int | None) -> None:
+        cl_avail = avail[cluster]
+        cl_reads = last_read[cluster]
+        tracker = trackers[cluster]
+        if dead_before_iter is None:
+            dead = cl_avail
+        else:
+            dead = [k for k in cl_avail if k[1] < dead_before_iter]
+        for key in dead:
+            written = cl_avail[key]
+            end = max(cl_reads.pop(key, written), written) + 1
+            tracker.add(written, end)
+        if dead_before_iter is None:
+            cl_avail.clear()
+        else:
+            for key in dead:
+                del cl_avail[key]
+        # Safe to fold events before both the earliest still-active write
+        # and the clock (future tokens are written at >= clock).
+        tracker.drain(min(min(cl_avail.values(), default=float("inf")), clock))
+
+    for g in range(n_groups):
+        for r in range(ii):
+            stall = 0
+            for rec in code.rows[r]:
+                i = g - rec.stage
+                if not 0 <= i < kernel_iters:
+                    continue  # predicated off: ramp-up/-down of the pipeline
+                cl = rec.cluster
+                cl_avail = avail[cl]
+                cl_reads = last_read[cl]
+                for read in rec.reads:
+                    j = i - read.distance
+                    if j < 0:
+                        continue  # pre-loop value (live-in of the pipeline)
+                    key = (read.producer, j)
+                    ready = cl_avail.get(key)
+                    if ready is None:
+                        raise SimulationError(
+                            f"cycle {clock}: node {rec.node} ({rec.opcode}, "
+                            f"iteration {i}) reads value of node "
+                            f"{read.producer} iteration {j}, which never "
+                            f"reached cluster {cl}"
+                        )
+                    if ready > clock:
+                        raise SimulationError(
+                            f"cycle {clock}: node {rec.node} ({rec.opcode}, "
+                            f"iteration {i}) reads value of node "
+                            f"{read.producer} iteration {j} before it is "
+                            f"ready at cycle {ready} (dataflow token "
+                            f"violation in cluster {cl})"
+                        )
+                    if cl_reads.get(key, -1) < clock:
+                        cl_reads[key] = clock
+                if rec.writes_register:
+                    cl_avail[(rec.node, i)] = clock + rec.latency
+                if rec.is_load:
+                    loads += 1
+                    penalty = mem.load_penalty()
+                    if penalty:
+                        misses += 1
+                        stall += penalty
+                issued += 1
+
+            for brec in code.bus_rows[r]:
+                i = g - brec.stage
+                if not 0 <= i < kernel_iters:
+                    continue
+                key = (brec.producer, i)
+                src = brec.src_cluster
+                ready = avail[src].get(key)
+                if ready is None or ready > clock:
+                    raise SimulationError(
+                        f"cycle {clock}: bus {brec.bus} transfer of node "
+                        f"{brec.producer} iteration {i} starts before the "
+                        f"value exists in cluster {src}"
+                        + (f" (ready at {ready})" if ready is not None else "")
+                    )
+                if last_read[src].get(key, -1) < clock:
+                    last_read[src][key] = clock
+                if clock < bus_free_at[brec.bus]:
+                    raise SimulationError(
+                        f"cycle {clock}: bus {brec.bus} contention — busy "
+                        f"until {bus_free_at[brec.bus]} when the transfer of "
+                        f"node {brec.producer} iteration {i} starts"
+                    )
+                bus_free_at[brec.bus] = clock + latbus
+                bus_busy[brec.bus] += latbus
+                arrival = clock + latbus
+                for reader in brec.readers:
+                    existing = avail[reader].get(key)
+                    if existing is None or arrival < existing:
+                        avail[reader][key] = arrival
+
+            clock += 1 + stall
+            stall_total += stall
+
+        for cluster in config.clusters():
+            retire(cluster, g - retire_lag + 1)
+
+    for cluster in config.clusters():
+        retire(cluster, None)
+
+    return SimReport(
+        loop_name=graph.name,
+        config_name=config.name,
+        ii=ii,
+        stage_count=sc,
+        unroll_factor=unroll_factor,
+        niter=niter,
+        kernel_iterations=kernel_iters,
+        cycles=clock,
+        stall_cycles=stall_total,
+        issued_ops=issued,
+        useful_ops=ops_per_source_iteration * niter,
+        loads_executed=loads,
+        load_misses=misses,
+        bus_busy_cycles=tuple(bus_busy),
+        peak_live=tuple(trackers[c].finish() for c in config.clusters()),
+    )
+
+
+def simulate_result(
+    result: ScheduledLoopResult,
+    niter: int,
+    *,
+    ops_per_source_iteration: int | None = None,
+    memory: MemoryModel | None = None,
+) -> SimReport:
+    """Simulate a policy-transformed loop (carries its own unroll factor)."""
+    return simulate_schedule(
+        result.schedule,
+        niter,
+        unroll_factor=result.unroll_factor,
+        ops_per_source_iteration=ops_per_source_iteration,
+        memory=memory,
+    )

@@ -1,0 +1,66 @@
+"""Memory models for the cycle-accurate simulator.
+
+The paper's evaluation assumes a perfect memory hierarchy (Section 6.1);
+:class:`PerfectMemory` reproduces that.  :class:`RandomMissMemory` makes
+the :class:`~repro.perf.model.StallModel` extension *dynamic*: instead of
+the closed-form ``loads * miss_rate * miss_penalty`` estimate, every
+executed load samples a miss from a seeded RNG and a miss freezes
+instruction issue machine-wide for ``miss_penalty`` cycles (a stall in one
+cluster stalls all clusters, Section 3 — the clusters run in lock-step).
+In-flight functional-unit and bus pipelines drain during the freeze, so a
+stall can only make values ready *earlier* relative to their consumers,
+never later.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..perf.model import StallModel
+
+
+class MemoryModel:
+    """Interface: per-load stall sampling plus access accounting."""
+
+    def reset(self) -> None:
+        """Forget all state so the next simulation starts fresh."""
+
+    def load_penalty(self) -> int:
+        """Stall cycles charged for one executed load (0 = hit)."""
+        raise NotImplementedError
+
+
+class PerfectMemory(MemoryModel):
+    """Every load hits — the paper's assumption."""
+
+    def load_penalty(self) -> int:
+        return 0
+
+
+class RandomMissMemory(MemoryModel):
+    """Per-load miss sampling with a seeded RNG (reproducible runs)."""
+
+    def __init__(self, miss_rate: float, miss_penalty: int, seed: int = 0):
+        if not 0.0 <= miss_rate <= 1.0:
+            raise ValueError(f"miss_rate {miss_rate} not in [0, 1]")
+        if miss_penalty < 0:
+            raise ValueError(f"negative miss_penalty {miss_penalty}")
+        self.miss_rate = miss_rate
+        self.miss_penalty = miss_penalty
+        self.seed = seed
+        self._rng = random.Random(seed)
+
+    def reset(self) -> None:
+        self._rng = random.Random(self.seed)
+
+    def load_penalty(self) -> int:
+        if self.miss_rate > 0.0 and self._rng.random() < self.miss_rate:
+            return self.miss_penalty
+        return 0
+
+
+def memory_from_stall_model(model: StallModel, seed: int = 0) -> MemoryModel:
+    """The dynamic counterpart of a closed-form :class:`StallModel`."""
+    if model.miss_rate == 0.0 or model.miss_penalty == 0:
+        return PerfectMemory()
+    return RandomMissMemory(model.miss_rate, model.miss_penalty, seed)

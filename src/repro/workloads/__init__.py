@@ -1,12 +1,19 @@
 """Workloads: classic kernels, the synthetic generator, the SPECfp95 suite."""
 
 from .generator import LoopShape, RecurrenceSpec, generate_loop
-from .kernels import ALL_KERNELS, figure7_graph
+from .kernels import (
+    ALL_KERNELS,
+    KERNEL_ALIASES,
+    figure7_graph,
+    kernel_loop,
+    resolve_kernel,
+)
 from .livermore import LIVERMORE_KERNELS, RECURRENCE_BOUND, livermore_program
 from .specfp import PROGRAM_NAMES, build_program, specfp95_suite
 
 __all__ = [
     "ALL_KERNELS",
+    "KERNEL_ALIASES",
     "LIVERMORE_KERNELS",
     "RECURRENCE_BOUND",
     "livermore_program",
@@ -16,5 +23,7 @@ __all__ = [
     "build_program",
     "figure7_graph",
     "generate_loop",
+    "kernel_loop",
+    "resolve_kernel",
     "specfp95_suite",
 ]

