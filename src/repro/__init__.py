@@ -75,6 +75,13 @@ from .ir import (
     count_cross_copy_deps,
     unroll_graph,
 )
+from .runner import (
+    PointResult,
+    ResultCache,
+    ScenarioPoint,
+    run_sweep,
+    scenario_for,
+)
 from .sim import (
     PerfectMemory,
     RandomMissMemory,
@@ -84,7 +91,7 @@ from .sim import (
     simulate_schedule,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "BsaScheduler",
@@ -105,9 +112,12 @@ __all__ = [
     "Opcode",
     "Operation",
     "PerfectMemory",
+    "PointResult",
     "Program",
     "RandomMissMemory",
     "ReproError",
+    "ResultCache",
+    "ScenarioPoint",
     "ScheduledLoopResult",
     "SchedulingError",
     "SelectiveRule",
@@ -127,6 +137,8 @@ __all__ = [
     "paper_configs",
     "rec_mii",
     "res_mii",
+    "run_sweep",
+    "scenario_for",
     "schedule_with_policy",
     "simulate_result",
     "simulate_schedule",

@@ -10,12 +10,22 @@ Commands map one-to-one onto the paper's artefacts::
     repro-vliw fig9  [--quick]     # cycle-time-aware speed-ups
     repro-vliw fig10 [--quick]     # code-size impact
     repro-vliw schedule KERNEL     # schedule a named kernel and print it
+    repro-vliw schedule --list     # the kernel/alias catalogue
     repro-vliw simulate KERNEL [--niter N] [--miss-rate R]
                                    # execute the emitted code cycle by cycle
     repro-vliw crossval [--quick]  # Figure 8 grid re-run under simulation
+    repro-vliw sweep GRID          # run any declared grid via the runner
+    repro-vliw cache [stats|clear] # inspect / wipe the result cache
 
-``--quick`` trims sweeps (fewer bus counts / cluster counts) for fast
-inspection; full runs regenerate exactly what EXPERIMENTS.md records.
+Every grid command (fig4/fig8/fig9/fig10, crossval, sweep) executes
+through the parallel, cache-backed runner: ``--jobs N`` shards the work
+across N worker processes, results persist in the on-disk cache
+(``~/.cache/repro-vliw`` or ``$REPRO_VLIW_CACHE``) so repeated and
+interrupted runs resume from what is already computed, ``--fresh``
+recomputes ignoring cached entries, and ``--no-cache`` disables
+persistence entirely.  ``--quick`` trims sweeps (fewer bus counts /
+cluster counts) for fast inspection; full runs regenerate exactly what
+EXPERIMENTS.md records.
 """
 
 from __future__ import annotations
@@ -53,12 +63,46 @@ from .experiments import (
 )
 from .ir.unroll import unroll_graph
 from .perf.report import format_table
+from .runner import GRIDS, ResultCache
 from .sim import PerfectMemory, RandomMissMemory, crosscheck_schedule
-from .workloads.kernels import resolve_kernel
+from .workloads.kernels import kernel_table, resolve_kernel
 
 
-def _ctx() -> ExperimentContext:
-    return ExperimentContext()
+def _cache(args: argparse.Namespace) -> ResultCache | None:
+    """The result cache selected by the command's flags."""
+    if getattr(args, "no_cache", False):
+        return None
+    cache_dir = getattr(args, "cache_dir", None)
+    return ResultCache(cache_dir)
+
+
+def _ctx(args: argparse.Namespace) -> ExperimentContext:
+    """An experiment context wired to the CLI's cache/jobs/fresh flags."""
+    return ExperimentContext(
+        cache=_cache(args),
+        jobs=getattr(args, "jobs", 1),
+        fresh=getattr(args, "fresh", False),
+    )
+
+
+def _sweep_flags(parser: argparse.ArgumentParser) -> None:
+    """The shared runner flags: --jobs / --fresh / --no-cache / --cache-dir."""
+    parser.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for the sweep (default: 1, in-process)",
+    )
+    parser.add_argument(
+        "--fresh", action="store_true",
+        help="recompute every point, ignoring cached results",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="do not read or write the on-disk result cache",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None,
+        help="cache directory (default: $REPRO_VLIW_CACHE or ~/.cache/repro-vliw)",
+    )
 
 
 def cmd_table1(_args: argparse.Namespace) -> None:
@@ -73,8 +117,10 @@ def cmd_table2(args: argparse.Namespace) -> None:
 def cmd_fig4(args: argparse.Namespace) -> None:
     sweep = (1, 2, 4) if args.quick else None
     kwargs = {"bus_sweep": sweep} if sweep else {}
-    points = run_fig4(_ctx(), **kwargs)
+    ctx = _ctx(args)
+    points = run_fig4(ctx, **kwargs)
     print(format_table(fig4_rows(points), title="Figure 4: relative IPC vs buses"))
+    print(f"\n[{ctx.stats.render()}]")
 
 
 def cmd_fig7(_args: argparse.Namespace) -> None:
@@ -89,31 +135,37 @@ def cmd_fig8(args: argparse.Namespace) -> None:
     kwargs = {}
     if args.quick:
         kwargs = {"bus_counts": (1,), "latencies": (1, 4)}
-    points = run_fig8(_ctx(), **kwargs)
+    ctx = _ctx(args)
+    points = run_fig8(ctx, **kwargs)
     print(format_table(fig8_rows(points), title="Figure 8: IPC per program"))
     print()
     print(format_table(average_ipc(points), title="Figure 8: averages"))
+    print(f"\n[{ctx.stats.render()}]")
 
 
 def cmd_fig9(args: argparse.Namespace) -> None:
     kwargs = {}
     if args.quick:
         kwargs = {"cluster_counts": (4,), "bus_counts": (1,)}
-    points = run_fig9(_ctx(), **kwargs)
+    ctx = _ctx(args)
+    points = run_fig9(ctx, **kwargs)
     print(format_table(fig9_rows(points), title="Figure 9: speed-up vs unified"))
     best = best_speedup(points)
     print(
         f"\nbest: {best.n_clusters}-cluster / {best.n_buses} bus / "
         f"{best.scenario} -> {best.report.speedup:.2f}x"
     )
+    print(f"\n[{ctx.stats.render()}]")
 
 
 def cmd_fig10(args: argparse.Namespace) -> None:
     kwargs = {}
     if args.quick:
         kwargs = {"bus_counts": (1,), "latencies": (1, 4)}
-    points = run_fig10(_ctx(), **kwargs)
+    ctx = _ctx(args)
+    points = run_fig10(ctx, **kwargs)
     print(format_table(fig10_rows(points), title="Figure 10: code size (normalised)"))
+    print(f"\n[{ctx.stats.render()}]")
 
 
 def _resolve_kernel_or_exit(name: str):
@@ -136,6 +188,15 @@ def _schedule_kernel(args: argparse.Namespace, graph):
 
 
 def cmd_schedule(args: argparse.Namespace) -> None:
+    if args.list:
+        print(
+            format_table(
+                kernel_table(), title="Kernels (canonical name and alias)"
+            )
+        )
+        return
+    if not args.kernel:
+        sys.exit("schedule: a KERNEL name is required (or use --list)")
     factory = _resolve_kernel_or_exit(args.kernel)
     sched = _schedule_kernel(args, factory())
     print(sched.describe())
@@ -174,7 +235,8 @@ def cmd_crossval(args: argparse.Namespace) -> None:
     kwargs = {}
     if args.quick:
         kwargs = {"cluster_counts": (4,), "bus_counts": (1,), "latencies": (1, 4)}
-    points = run_crossval(_ctx(), **kwargs)
+    ctx = _ctx(args)
+    points = run_crossval(ctx, **kwargs)
     print(
         format_table(
             crossval_rows(points),
@@ -187,6 +249,34 @@ def cmd_crossval(args: argparse.Namespace) -> None:
         f"{max_ipc_divergence(points):.3e}, max cycle divergence "
         f"{max_cycle_divergence(points)}"
     )
+    print(f"[{ctx.stats.render()}]")
+
+
+def cmd_sweep(args: argparse.Namespace) -> None:
+    if args.list or not args.grid:
+        rows = [
+            {"grid": spec.name, "description": spec.description}
+            for spec in GRIDS.values()
+        ]
+        print(format_table(rows, title="Declared grids (repro-vliw sweep GRID)"))
+        if not args.list and not args.grid:
+            sys.exit("sweep: a GRID name is required (or use --list)")
+        return
+    spec = GRIDS.get(args.grid)
+    if spec is None:
+        sys.exit(f"sweep: unknown grid {args.grid!r}; known: {sorted(GRIDS)}")
+    ctx = _ctx(args)
+    print(spec.run(ctx, args.quick))
+    print(f"\n[{ctx.stats.render()}]")
+
+
+def cmd_cache(args: argparse.Namespace) -> None:
+    cache = ResultCache(args.cache_dir)
+    if args.action == "clear":
+        removed = cache.clear()
+        print(f"removed {removed} cache entr{'y' if removed == 1 else 'ies'}")
+        return
+    print(cache.stats().render())
 
 
 def main(argv: list[str] | None = None) -> None:
@@ -211,9 +301,26 @@ def main(argv: list[str] | None = None) -> None:
         p = sub.add_parser(name)
         if has_quick:
             p.add_argument("--quick", action="store_true")
+        if name != "fig7":
+            _sweep_flags(p)
         p.set_defaults(func=func)
+    p = sub.add_parser(
+        "sweep", help="run a declared scenario grid through the runner"
+    )
+    p.add_argument("grid", nargs="?", help=f"one of: {', '.join(sorted(GRIDS))}")
+    p.add_argument("--quick", action="store_true")
+    p.add_argument("--list", action="store_true", help="list declared grids")
+    _sweep_flags(p)
+    p.set_defaults(func=cmd_sweep)
+    p = sub.add_parser("cache", help="result-cache statistics / clearing")
+    p.add_argument(
+        "action", nargs="?", choices=("stats", "clear"), default="stats"
+    )
+    p.add_argument("--cache-dir", default=None)
+    p.set_defaults(func=cmd_cache)
     p = sub.add_parser("schedule")
-    p.add_argument("kernel")
+    p.add_argument("kernel", nargs="?")
+    p.add_argument("--list", action="store_true", help="list kernels and aliases")
     p.add_argument("--clusters", type=int, default=4)
     p.add_argument("--buses", type=int, default=1)
     p.add_argument("--latency", type=int, default=1)

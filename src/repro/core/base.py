@@ -35,17 +35,46 @@ def default_ii_budget(graph: DependenceGraph, config: MachineConfig) -> int:
 class SchedulerBase(abc.ABC):
     """Common II-search loop; subclasses place nodes for one fixed II."""
 
-    #: Human-readable algorithm name (reports, experiment tables).
+    #: Human-readable algorithm name (reports, experiment tables, and the
+    #: scheduler registry key in :data:`repro.runner.engine.SCHEDULERS`).
     name: str = "base"
 
     def __init__(self, config: MachineConfig, *, max_ii: int | None = None):
+        """Bind the scheduler to one machine configuration.
+
+        Parameters
+        ----------
+        config:
+            The (clustered or unified) machine to schedule for.
+        max_ii:
+            Optional hard II ceiling; when ``None`` (the default) the
+            budget is ``MII + default_ii_budget(graph, config)``,
+            computed per graph.
+        """
         self.config = config
         self.max_ii = max_ii
 
     def schedule(self, graph: DependenceGraph) -> ModuloSchedule:
-        """Modulo-schedule *graph*, raising :class:`SchedulingError` only
-        if the II budget is exhausted (which indicates a bug or an
-        impossible machine, not a hard loop)."""
+        """Modulo-schedule *graph* on this scheduler's machine.
+
+        Runs the classic iterative II search: start at MII, ask the
+        subclass to place every node (:meth:`_place_all`), and on any
+        failure restart from scratch at II + 1, logging why the attempt
+        failed (the bookkeeping behind the paper's ``LimitedByBus``).
+
+        Returns
+        -------
+        ModuloSchedule
+            A complete, finalised schedule with its attempt-failure log.
+
+        Raises
+        ------
+        SchedulingError
+            Only if the II budget is exhausted or the graph is
+            register-pressure bound with no progress (which indicates a
+            bug or an impossible machine, not a hard loop) — callers
+            such as the experiment harness fall back to list scheduling.
+        """
         graph.validate()
         if len(graph) == 0:
             raise SchedulingError(f"graph {graph.name!r} has no operations")

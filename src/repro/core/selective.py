@@ -36,10 +36,18 @@ from .schedule import ModuloSchedule
 
 
 class UnrollPolicy(enum.Enum):
-    """The three scenarios of the paper's Figure 8."""
+    """The three scenarios of the paper's Figure 8.
 
+    The ``value`` strings are stable identifiers: they appear in
+    scenario points, cache keys and rendered tables.
+    """
+
+    #: Schedule the loop exactly as written.
     NONE = "no-unrolling"
+    #: Unroll every loop by the cluster count before scheduling.
     ALL = "unroll-all"
+    #: The paper's Figure 6: unroll only bus-limited loops whose
+    #: unrolled communications fit the bus bandwidth.
     SELECTIVE = "selective-unrolling"
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
@@ -67,10 +75,12 @@ class ScheduledLoopResult:
 
     @property
     def ii(self) -> int:
+        """Initiation interval of the emitted schedule (unrolled body)."""
         return self.schedule.ii
 
     @property
     def stage_count(self) -> int:
+        """SC of the emitted schedule (prologue/epilogue depth)."""
         return self.schedule.stage_count
 
     @property
@@ -88,6 +98,24 @@ def selective_unroll_decision(
     """The Figure 6 predicate: should this bus-limited loop be unrolled?
 
     Assumes *schedule* is the non-unrolled schedule and was bus limited.
+
+    Parameters
+    ----------
+    graph:
+        The original (non-unrolled) dependence graph.
+    config:
+        The clustered machine; unified machines always return ``False``.
+    schedule:
+        The loop's non-unrolled schedule (supplies II for ``LITERAL``).
+    rule:
+        Which reading of the paper's test to apply (see
+        :class:`SelectiveRule`).
+
+    Returns
+    -------
+    bool
+        True when the estimated post-unroll communication demand fits
+        the bus bandwidth, i.e. unrolling is predicted to pay off.
     """
     if not config.is_clustered:
         return False
@@ -107,7 +135,34 @@ def schedule_with_policy(
     *,
     rule: SelectiveRule = SelectiveRule.MII_UNROLLED,
 ) -> ScheduledLoopResult:
-    """Schedule *graph* under an unrolling policy (Figure 6 for SELECTIVE)."""
+    """Schedule *graph* under an unrolling policy (Figure 6 for SELECTIVE).
+
+    Parameters
+    ----------
+    graph:
+        The loop body to schedule (one source iteration).
+    scheduler:
+        A bound :class:`~repro.core.base.SchedulerBase`; its machine
+        configuration supplies the unroll factor (the cluster count).
+    policy:
+        Which of the paper's three scenarios to apply.
+    rule:
+        The :class:`SelectiveRule` used by the SELECTIVE decision test.
+
+    Returns
+    -------
+    ScheduledLoopResult
+        The emitted schedule, the unroll factor actually applied (1 when
+        unrolling was skipped, rejected or failed), and — for ALL and
+        SELECTIVE — the non-unrolled base schedule when one was built.
+
+    Raises
+    ------
+    SchedulingError
+        Only when even the non-unrolled loop cannot be scheduled;
+        failures of the *unrolled* body fall back to the base schedule
+        silently (the paper's compiler keeps the original loop).
+    """
     config = scheduler.config
     ufactor = config.n_clusters
 

@@ -1,4 +1,11 @@
-"""Experiment harnesses for the paper's tables and figures."""
+"""Experiment harnesses for the paper's tables and figures.
+
+Every figure is declared as a grid of
+:class:`~repro.runner.scenario.ScenarioPoint` work units (the
+``fig*_grid`` functions) and executed through the parallel, cache-backed
+engine in :mod:`repro.runner`; the ``run_fig*`` functions then reduce
+the warm results into the figure's rows.
+"""
 
 from .ablation import (
     run_default_cluster_ablation,
@@ -18,19 +25,21 @@ from .common import (
     make_scheduler,
     paper_machine,
     sequential_fallback,
+    suite_grid,
 )
 from .crossval import (
     CrossvalPoint,
+    crossval_grid,
     crossval_rows,
     max_cycle_divergence,
     max_ipc_divergence,
     run_crossval,
 )
-from .fig4 import BUS_SWEEP, Fig4Point, fig4_rows, run_fig4
+from .fig4 import BUS_SWEEP, Fig4Point, fig4_grid, fig4_rows, run_fig4
 from .fig7 import Fig7Case, fig7_rows, run_fig7, run_fig7_ladder
-from .fig8 import Fig8Point, average_ipc, fig8_rows, run_fig8
-from .fig9 import Fig9Point, best_speedup, fig9_rows, run_fig9
-from .fig10 import Fig10Point, fig10_rows, run_fig10
+from .fig8 import Fig8Point, average_ipc, fig8_grid, fig8_rows, run_fig8
+from .fig9 import Fig9Point, best_speedup, fig9_grid, fig9_rows, run_fig9
+from .fig10 import Fig10Point, fig10_grid, fig10_rows, run_fig10
 from .tables import run_table1, run_table2
 
 __all__ = [
@@ -45,11 +54,16 @@ __all__ = [
     "average_ipc",
     "best_speedup",
     "config_label",
+    "crossval_grid",
     "crossval_rows",
+    "fig10_grid",
     "fig10_rows",
+    "fig4_grid",
     "fig4_rows",
     "fig7_rows",
+    "fig8_grid",
     "fig8_rows",
+    "fig9_grid",
     "fig9_rows",
     "geometric_mean",
     "global_context",
@@ -75,4 +89,5 @@ __all__ = [
     "run_table1",
     "run_table2",
     "sequential_fallback",
+    "suite_grid",
 ]

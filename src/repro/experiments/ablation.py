@@ -23,13 +23,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..arch.configs import unified_config
 from ..codegen.codesize import ZERO_SIZE, schedule_code_size
 from ..core.bsa import BsaScheduler
 from ..core.selective import ScheduledLoopResult, SelectiveRule, UnrollPolicy
 from ..errors import SchedulingError
 from ..ir.unroll import unroll_graph
 from ..perf.model import StallModel, program_performance
-from .common import ExperimentContext, paper_machine
+from .common import ExperimentContext, paper_machine, suite_grid
 
 
 @dataclass(frozen=True)
@@ -45,8 +46,15 @@ def run_singlepass_ablation(
     n_clusters: int = 4,
     n_buses: int = 1,
     latencies: tuple[int, ...] = (1, 2, 4),
+    jobs: int | None = None,
 ) -> list[LatencyAblationPoint]:
     """EXP-A1: BSA vs two-phase as communication latency grows."""
+    grid = suite_grid(ctx.suite, unified_config(), "bsa", UnrollPolicy.NONE)
+    for latency in latencies:
+        cfg = paper_machine(n_clusters, n_buses, latency)
+        for algorithm in ("bsa", "two-phase"):
+            grid.extend(suite_grid(ctx.suite, cfg, algorithm, UnrollPolicy.NONE))
+    ctx.run_grid(grid, jobs=jobs)
     points = []
     for latency in latencies:
         cfg = paper_machine(n_clusters, n_buses, latency)
@@ -72,8 +80,17 @@ def run_selective_rule_ablation(
     *,
     n_clusters: int = 4,
     scenarios: tuple[tuple[int, int], ...] = ((1, 1), (1, 4), (2, 1)),
+    jobs: int | None = None,
 ) -> list[SelectiveRulePoint]:
     """EXP-A2: the two readings of the Figure 6 decision test."""
+    grid = []
+    for n_buses, latency in scenarios:
+        cfg = paper_machine(n_clusters, n_buses, latency)
+        for rule in SelectiveRule:
+            grid.extend(
+                suite_grid(ctx.suite, cfg, "bsa", UnrollPolicy.SELECTIVE, rule)
+            )
+    ctx.run_grid(grid, jobs=jobs)
     points = []
     for n_buses, latency in scenarios:
         cfg = paper_machine(n_clusters, n_buses, latency)

@@ -1,8 +1,17 @@
-"""Shared experiment harness.
+"""Shared experiment harness — a thin layer over :mod:`repro.runner`.
 
 Runs (program suite) x (machine configuration) x (scheduler) x (unrolling
-policy) grids, with caching so the many figures that share scenario points
-never schedule the same loop twice in one process.
+policy) grids.  Each data point is a hashable
+:class:`~repro.runner.scenario.ScenarioPoint`; the context memoises the
+materialised results in-process (so the many figures that share scenario
+points never schedule the same loop twice in one process) and, when given
+a :class:`~repro.runner.cache.ResultCache`, persists every point on disk
+so repeated figures — and interrupted sweeps — skip scheduling entirely.
+
+Whole grids go through :meth:`ExperimentContext.run_grid`, which shards
+cache misses across worker processes (``jobs``) deterministically; the
+figure harnesses declare their grids up front and then reduce from the
+warm memo.
 
 Fallback: a loop that cannot be modulo-scheduled under a configuration
 (e.g. register-pressure-impossible with no spill code) is charged a
@@ -14,86 +23,123 @@ custom workloads from aborting a whole experiment.
 
 from __future__ import annotations
 
+import json
 import math
 from dataclasses import dataclass, field
-from typing import Callable
 
 from ..arch.cluster import MachineConfig
 from ..arch.configs import clustered_config, unified_config
-from ..core.base import SchedulerBase
-from ..core.bsa import BsaScheduler
-from ..core.list_schedule import list_schedule
 from ..core.selective import (
     ScheduledLoopResult,
     SelectiveRule,
     UnrollPolicy,
-    schedule_with_policy,
 )
-from ..core.twophase import TwoPhaseScheduler
-from ..core.unified import UnifiedScheduler
-from ..errors import SchedulingError
-from ..ir.ddg import DependenceGraph
 from ..ir.loop import Loop, Program
 from ..perf.model import ProgramPerformance, program_performance
+from ..runner.cache import ResultCache
+from ..runner.engine import (  # re-exported for backwards compatibility
+    SCHEDULERS,
+    SchedulerFactory,
+    SweepStats,
+    execute_point,
+    make_scheduler,
+    run_sweep,
+    sequential_fallback,
+)
+from ..runner.scenario import (
+    GridItem,
+    PointResult,
+    ScenarioPoint,
+    scenario_for,
+)
+from ..sim.crosscheck import CrossCheck
 from ..workloads.specfp import specfp95_suite
 
-#: Scheduler factory signature: config -> scheduler.
-SchedulerFactory = Callable[[MachineConfig], SchedulerBase]
-
-SCHEDULERS: dict[str, SchedulerFactory] = {
-    "bsa": lambda cfg: BsaScheduler(cfg),
-    "two-phase": lambda cfg: TwoPhaseScheduler(cfg),
-    "bsa-topo": lambda cfg: BsaScheduler(cfg, order="topo"),
-    "bsa-least-loaded": lambda cfg: BsaScheduler(
-        cfg, default_cluster_policy="least-loaded"
-    ),
-}
-
-
-def make_scheduler(name: str, config: MachineConfig) -> SchedulerBase:
-    """Instantiate a registered scheduler (unified machines always get SMS)."""
-    if config.n_clusters == 1:
-        return UnifiedScheduler(config)
-    return SCHEDULERS[name](config)
-
-
-def sequential_fallback(
-    graph: DependenceGraph, config: MachineConfig
-) -> ScheduledLoopResult:
-    """A non-pipelined stand-in schedule for loops that defeat the
-    modulo schedulers: classic list scheduling of one iteration, II =
-    schedule length, SC = 1 — what a compiler emits when it skips
-    software pipelining."""
-    sched = list_schedule(graph, config)
-    return ScheduledLoopResult(sched, 1, UnrollPolicy.NONE)
-
-
-@dataclass(frozen=True)
-class ScenarioKey:
-    """Cache key for one (loop, machine, algorithm, policy) data point."""
-
-    loop_name: str
-    config_label: str
-    scheduler: str
-    policy: UnrollPolicy
-    rule: SelectiveRule
+__all__ = [
+    "SCHEDULERS",
+    "SchedulerFactory",
+    "ExperimentContext",
+    "config_label",
+    "geometric_mean",
+    "global_context",
+    "make_scheduler",
+    "paper_machine",
+    "sequential_fallback",
+    "suite_grid",
+]
 
 
 def config_label(config: MachineConfig) -> str:
-    """Stable cache label for a machine configuration."""
+    """Stable display label for a machine configuration."""
     if not config.is_clustered:
         return config.name
     return f"{config.name}/b{config.buses.count}/l{config.buses.latency}"
 
 
+def suite_grid(
+    suite: list[Program],
+    config: MachineConfig,
+    scheduler: str,
+    policy: UnrollPolicy,
+    rule: SelectiveRule = SelectiveRule.MII_UNROLLED,
+    *,
+    simulate: bool = False,
+) -> list[GridItem]:
+    """Scenario points for every eligible loop of *suite* on one machine.
+
+    The building block of every figure grid: figures compose a few
+    ``suite_grid`` calls (one per machine/policy scenario) instead of
+    hand-rolling nested loops.
+    """
+    return [
+        (scenario_for(loop, config, scheduler, policy, rule, simulate=simulate), loop)
+        for program in suite
+        for loop in program.eligible_loops()
+    ]
+
+
 @dataclass
 class ExperimentContext:
-    """Scenario runner with memoisation and fallback accounting."""
+    """Scenario runner with memoisation, caching and fallback accounting.
+
+    Attributes
+    ----------
+    suite:
+        The programs under evaluation (default: the SPECfp95-like suite).
+    cache:
+        Optional shared on-disk :class:`ResultCache`; when set, every
+        computed point is persisted and future contexts (or processes)
+        reuse it.
+    jobs:
+        Default worker-process count for :meth:`run_grid`.
+    fresh:
+        When true, never *read* the on-disk cache (results are still
+        written back) — the ``--fresh`` CLI semantic.
+    memo:
+        In-process map from scenario identity to the materialised
+        :class:`ScheduledLoopResult` (stable object identity per point).
+    sim_memo:
+        Same for simulated points, holding :class:`CrossCheck` records.
+    fallbacks:
+        Every scenario point that needed the list-schedule fallback.
+    stats:
+        Accumulated :class:`SweepStats` over all work this context ran.
+    """
 
     suite: list[Program] = field(default_factory=specfp95_suite)
-    cache: dict[ScenarioKey, ScheduledLoopResult] = field(default_factory=dict)
-    fallbacks: list[ScenarioKey] = field(default_factory=list)
+    cache: ResultCache | None = None
+    jobs: int = 1
+    fresh: bool = False
+    memo: dict[str, ScheduledLoopResult] = field(default_factory=dict)
+    sim_memo: dict[str, CrossCheck] = field(default_factory=dict)
+    fallbacks: list[ScenarioPoint] = field(default_factory=list)
+    stats: SweepStats = field(default_factory=SweepStats)
+    #: Canonical keys of the points in :attr:`fallbacks` (fast lookup).
+    _fallback_keys: set[str] = field(default_factory=set)
 
+    # ------------------------------------------------------------------
+    # Point-at-a-time API (reducers; also the serial fallback path)
+    # ------------------------------------------------------------------
     def schedule_loop(
         self,
         loop: Loop,
@@ -102,20 +148,148 @@ class ExperimentContext:
         policy: UnrollPolicy,
         rule: SelectiveRule = SelectiveRule.MII_UNROLLED,
     ) -> ScheduledLoopResult:
-        key = ScenarioKey(
-            loop.name, config_label(config), scheduler_name, policy, rule
-        )
-        if key not in self.cache:
-            scheduler = make_scheduler(scheduler_name, config)
-            try:
-                self.cache[key] = schedule_with_policy(
-                    loop.graph, scheduler, policy, rule=rule
-                )
-            except SchedulingError:
-                self.fallbacks.append(key)
-                self.cache[key] = sequential_fallback(loop.graph, config)
-        return self.cache[key]
+        """Schedule one loop under one scenario (memo -> cache -> compute)."""
+        point = scenario_for(loop, config, scheduler_name, policy, rule)
+        key = point.canonical()
+        hit = self.memo.get(key)
+        if hit is not None:
+            return hit
+        result = self._cache_get(point)
+        if result is not None:
+            self.stats.cached += 1
+        else:
+            result = execute_point(point, loop)
+            if self.cache is not None:
+                self.cache.put(point, result)
+            self.stats.executed += 1
+        self.stats.total += 1
+        self._absorb_schedule(point, result)
+        return self.memo[key]
 
+    def crosscheck_loop(
+        self,
+        loop: Loop,
+        config: MachineConfig,
+        scheduler_name: str,
+        policy: UnrollPolicy,
+        rule: SelectiveRule = SelectiveRule.MII_UNROLLED,
+    ) -> CrossCheck:
+        """Schedule *and simulate* one loop, diffed against the model.
+
+        Reuses an in-memory or cached schedule for the scenario when one
+        exists (the simulation itself is what is being added).
+        """
+        point = scenario_for(
+            loop, config, scheduler_name, policy, rule, simulate=True
+        )
+        key = point.canonical()
+        hit = self.sim_memo.get(key)
+        if hit is not None:
+            return hit
+        result = self._cache_get(point)
+        if result is not None:
+            self.stats.cached += 1
+        else:
+            twin_key = point.without_simulation().canonical()
+            result = execute_point(
+                point,
+                loop,
+                prior=self.memo.get(twin_key),
+                prior_fallback=twin_key in self._fallback_keys,
+            )
+            if self.cache is not None:
+                self.cache.put(point, result)
+            self.stats.executed += 1
+        self.stats.total += 1
+        self._absorb_sim(point, result)
+        return self.sim_memo[key]
+
+    # ------------------------------------------------------------------
+    # Grid-at-a-time API (figures declare grids; misses run in parallel)
+    # ------------------------------------------------------------------
+    def run_grid(
+        self, items: list[GridItem], jobs: int | None = None
+    ) -> SweepStats:
+        """Execute a declared grid, sharding misses over worker processes.
+
+        Points already memoised in this context are skipped; the rest go
+        through :func:`repro.runner.engine.run_sweep` (cache first, then
+        deterministic parallel execution) and land in the memos, so the
+        figure reducers that follow are pure lookups.
+        """
+        jobs = self.jobs if jobs is None else jobs
+        by_key: dict[str, GridItem] = {}
+        for point, loop in items:
+            memo = self.sim_memo if point.simulate else self.memo
+            key = point.canonical()
+            if key not in memo:
+                by_key.setdefault(key, (point, loop))
+        pending = list(by_key.values())
+        results, stats = run_sweep(
+            pending,
+            jobs=jobs,
+            cache=self.cache,
+            fresh=self.fresh,
+            prior_lookup=self._known_schedule,
+        )
+        for key, result in results.items():
+            point, _loop = by_key[key]
+            if point.simulate:
+                self._absorb_sim(point, result)
+            else:
+                self._absorb_schedule(point, result)
+        self.stats.merge(stats)
+        return stats
+
+    # ------------------------------------------------------------------
+    def _cache_get(self, point: ScenarioPoint) -> PointResult | None:
+        """Disk-cache read honouring the context's ``fresh`` setting."""
+        if self.cache is None or self.fresh:
+            return None
+        return self.cache.get(point)
+
+    def _known_schedule(
+        self, point: ScenarioPoint
+    ) -> tuple[ScheduledLoopResult, bool] | None:
+        """The memoised schedule (and its fallback flag) for a point."""
+        key = point.canonical()
+        known = self.memo.get(key)
+        if known is None:
+            return None
+        return known, key in self._fallback_keys
+
+    def _absorb_schedule(self, point: ScenarioPoint, result: PointResult) -> None:
+        """Install a point result into the memo (once) with accounting."""
+        key = point.canonical()
+        if key in self.memo:
+            return
+        self.memo[key] = result.loop_result()
+        if result.fallback:
+            self.fallbacks.append(point)
+            self._fallback_keys.add(key)
+
+    def _absorb_sim(self, point: ScenarioPoint, result: PointResult) -> None:
+        """Install a simulated point: CrossCheck plus the embedded schedule."""
+        key = point.canonical()
+        if key in self.sim_memo:
+            return
+        sim = result.sim
+        if sim is None:  # pragma: no cover - defensive: malformed payload
+            raise ValueError(f"point {point.describe()} has no sim outcome")
+        self.sim_memo[key] = CrossCheck(
+            loop_name=point.loop,
+            config_name=json.loads(point.machine)["name"],
+            analytic_cycles=sim.analytic_cycles,
+            simulated_cycles=sim.simulated_cycles,
+            analytic_ipc=sim.analytic_ipc,
+            simulated_ipc=sim.simulated_ipc,
+        )
+        # The schedule rode along: warm the schedule memo for the twin.
+        self._absorb_schedule(point.without_simulation(), result)
+
+    # ------------------------------------------------------------------
+    # Aggregations (unchanged public API)
+    # ------------------------------------------------------------------
     def program_ipc(
         self,
         program: Program,
@@ -124,6 +298,7 @@ class ExperimentContext:
         policy: UnrollPolicy,
         rule: SelectiveRule = SelectiveRule.MII_UNROLLED,
     ) -> ProgramPerformance:
+        """IPC of one program: every eligible loop scheduled and modelled."""
         results = {
             loop.name: self.schedule_loop(loop, config, scheduler_name, policy, rule)
             for loop in program.eligible_loops()
@@ -137,6 +312,7 @@ class ExperimentContext:
         policy: UnrollPolicy,
         rule: SelectiveRule = SelectiveRule.MII_UNROLLED,
     ) -> dict[str, ProgramPerformance]:
+        """Per-program performance over the whole suite."""
         return {
             program.name: self.program_ipc(
                 program, config, scheduler_name, policy, rule

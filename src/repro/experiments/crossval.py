@@ -20,8 +20,9 @@ from ..arch.configs import (
 )
 from ..core.selective import UnrollPolicy
 from ..errors import SimulationError
-from ..sim.crosscheck import CrossCheck, crosscheck_loop
-from .common import ExperimentContext, paper_machine
+from ..runner.scenario import GridItem
+from ..sim.crosscheck import CrossCheck
+from .common import ExperimentContext, paper_machine, suite_grid
 from .fig8 import POLICIES
 
 
@@ -38,16 +39,13 @@ class CrossvalPoint:
     check: CrossCheck
 
 
-def run_crossval(
-    ctx: ExperimentContext,
-    *,
-    cluster_counts: tuple[int, ...] = (2, 4),
-    bus_counts: tuple[int, ...] = PAPER_BUS_COUNTS,
-    latencies: tuple[int, ...] = PAPER_BUS_LATENCIES,
-    scheduler: str = "bsa",
-    policies: tuple[UnrollPolicy, ...] = POLICIES,
-) -> list[CrossvalPoint]:
-    """Simulate every loop of the Figure 8 grid and diff against the model."""
+def _crossval_scenarios(
+    cluster_counts: tuple[int, ...],
+    bus_counts: tuple[int, ...],
+    latencies: tuple[int, ...],
+    policies: tuple[UnrollPolicy, ...],
+) -> list[tuple[int, int, int, UnrollPolicy]]:
+    """Every machine scenario of the grid (unified baseline first)."""
     scenarios: list[tuple[int, int, int, UnrollPolicy]] = [
         (1, 0, 0, UnrollPolicy.NONE)
     ]
@@ -58,8 +56,65 @@ def run_crossval(
         for n_buses in bus_counts
         for latency in latencies
     )
+    return scenarios
+
+
+def crossval_grid(
+    ctx: ExperimentContext,
+    *,
+    cluster_counts: tuple[int, ...] = (2, 4),
+    bus_counts: tuple[int, ...] = PAPER_BUS_COUNTS,
+    latencies: tuple[int, ...] = PAPER_BUS_LATENCIES,
+    scheduler: str = "bsa",
+    policies: tuple[UnrollPolicy, ...] = POLICIES,
+) -> list[GridItem]:
+    """The cross-validation grid: Figure 8's points, simulate-flagged.
+
+    Simulated points embed their schedule in the result, so a crossval
+    sweep also warms the schedule cache for the other figures (and vice
+    versa: cached Figure 8 schedules skip straight to simulation).
+    """
+    items: list[GridItem] = []
+    for n_clusters, n_buses, latency, policy in _crossval_scenarios(
+        cluster_counts, bus_counts, latencies, policies
+    ):
+        cfg = (
+            unified_config()
+            if n_clusters == 1
+            else paper_machine(n_clusters, n_buses, latency)
+        )
+        items.extend(
+            suite_grid(ctx.suite, cfg, scheduler, policy, simulate=True)
+        )
+    return items
+
+
+def run_crossval(
+    ctx: ExperimentContext,
+    *,
+    cluster_counts: tuple[int, ...] = (2, 4),
+    bus_counts: tuple[int, ...] = PAPER_BUS_COUNTS,
+    latencies: tuple[int, ...] = PAPER_BUS_LATENCIES,
+    scheduler: str = "bsa",
+    policies: tuple[UnrollPolicy, ...] = POLICIES,
+    jobs: int | None = None,
+) -> list[CrossvalPoint]:
+    """Simulate every loop of the Figure 8 grid and diff against the model."""
+    ctx.run_grid(
+        crossval_grid(
+            ctx,
+            cluster_counts=cluster_counts,
+            bus_counts=bus_counts,
+            latencies=latencies,
+            scheduler=scheduler,
+            policies=policies,
+        ),
+        jobs=jobs,
+    )
     points: list[CrossvalPoint] = []
-    for n_clusters, n_buses, latency, policy in scenarios:
+    for n_clusters, n_buses, latency, policy in _crossval_scenarios(
+        cluster_counts, bus_counts, latencies, policies
+    ):
         cfg = (
             unified_config()
             if n_clusters == 1
@@ -67,9 +122,8 @@ def run_crossval(
         )
         for program in ctx.suite:
             for loop in program.eligible_loops():
-                result = ctx.schedule_loop(loop, cfg, scheduler, policy)
                 try:
-                    check = crosscheck_loop(loop, result)
+                    check = ctx.crosscheck_loop(loop, cfg, scheduler, policy)
                 except SimulationError as exc:  # a wrong schedule slipped through
                     raise SimulationError(
                         f"{program.name}/{loop.name} on {cfg.name} "

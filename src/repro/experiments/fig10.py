@@ -23,8 +23,28 @@ from ..arch.configs import (
 )
 from ..codegen.codesize import ZERO_SIZE, CodeSize, schedule_code_size
 from ..core.selective import UnrollPolicy
-from .common import ExperimentContext, paper_machine
+from ..runner.scenario import GridItem
+from .common import ExperimentContext, paper_machine, suite_grid
 from .fig8 import POLICIES
+
+
+def fig10_grid(
+    ctx: ExperimentContext,
+    *,
+    cluster_counts: tuple[int, ...] = (2, 4),
+    bus_counts: tuple[int, ...] = PAPER_BUS_COUNTS,
+    latencies: tuple[int, ...] = PAPER_BUS_LATENCIES,
+    scheduler: str = "bsa",
+) -> list[GridItem]:
+    """The Figure 10 grid (same scenarios as Figure 8's)."""
+    items = suite_grid(ctx.suite, unified_config(), scheduler, UnrollPolicy.NONE)
+    for n_clusters in cluster_counts:
+        for policy in POLICIES:
+            for n_buses in bus_counts:
+                for latency in latencies:
+                    cfg = paper_machine(n_clusters, n_buses, latency)
+                    items.extend(suite_grid(ctx.suite, cfg, scheduler, policy))
+    return items
 
 
 @dataclass(frozen=True)
@@ -55,8 +75,19 @@ def run_fig10(
     bus_counts: tuple[int, ...] = PAPER_BUS_COUNTS,
     latencies: tuple[int, ...] = PAPER_BUS_LATENCIES,
     scheduler: str = "bsa",
+    jobs: int | None = None,
 ) -> list[Fig10Point]:
     """Run the Figure 10 grid: normalised code size per scenario."""
+    ctx.run_grid(
+        fig10_grid(
+            ctx,
+            cluster_counts=cluster_counts,
+            bus_counts=bus_counts,
+            latencies=latencies,
+            scheduler=scheduler,
+        ),
+        jobs=jobs,
+    )
     baseline = _suite_code_size(
         ctx, unified_config(), scheduler, UnrollPolicy.NONE
     )

@@ -13,14 +13,35 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..arch.configs import unified_config
 from ..core.selective import UnrollPolicy
-from .common import ExperimentContext, paper_machine
+from ..runner.scenario import GridItem
+from .common import ExperimentContext, paper_machine, suite_grid
 
 #: Bus counts swept on the x axis (the paper's plots run to 12).
 BUS_SWEEP = (1, 2, 3, 4, 6, 8, 12)
 LATENCIES = (1, 2)
 ALGORITHMS = ("bsa", "two-phase")
 CLUSTER_COUNTS = (2, 4)
+
+
+def fig4_grid(
+    ctx: ExperimentContext,
+    *,
+    bus_sweep: tuple[int, ...] = BUS_SWEEP,
+    cluster_counts: tuple[int, ...] = CLUSTER_COUNTS,
+) -> list[GridItem]:
+    """The Figure 4 sweep as a flat scenario-point declaration."""
+    items = suite_grid(ctx.suite, unified_config(), "bsa", UnrollPolicy.NONE)
+    for n_clusters in cluster_counts:
+        for algorithm in ALGORITHMS:
+            for latency in LATENCIES:
+                for n_buses in bus_sweep:
+                    cfg = paper_machine(n_clusters, n_buses, latency)
+                    items.extend(
+                        suite_grid(ctx.suite, cfg, algorithm, UnrollPolicy.NONE)
+                    )
+    return items
 
 
 @dataclass(frozen=True)
@@ -37,9 +58,14 @@ def run_fig4(
     *,
     bus_sweep: tuple[int, ...] = BUS_SWEEP,
     cluster_counts: tuple[int, ...] = CLUSTER_COUNTS,
+    jobs: int | None = None,
 ) -> list[Fig4Point]:
     """Run the Figure 4 sweep: relative IPC per (clusters, algorithm,
     latency, bus count) point."""
+    ctx.run_grid(
+        fig4_grid(ctx, bus_sweep=bus_sweep, cluster_counts=cluster_counts),
+        jobs=jobs,
+    )
     points = []
     for n_clusters in cluster_counts:
         for algorithm in ALGORITHMS:

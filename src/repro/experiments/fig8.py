@@ -23,9 +23,34 @@ from ..arch.configs import (
     unified_config,
 )
 from ..core.selective import UnrollPolicy
-from .common import ExperimentContext, paper_machine
+from ..runner.scenario import GridItem
+from .common import ExperimentContext, paper_machine, suite_grid
 
 POLICIES = (UnrollPolicy.NONE, UnrollPolicy.ALL, UnrollPolicy.SELECTIVE)
+
+
+def fig8_grid(
+    ctx: ExperimentContext,
+    *,
+    cluster_counts: tuple[int, ...] = (2, 4),
+    bus_counts: tuple[int, ...] = PAPER_BUS_COUNTS,
+    latencies: tuple[int, ...] = PAPER_BUS_LATENCIES,
+    scheduler: str = "bsa",
+) -> list[GridItem]:
+    """The Figure 8 grid as a flat scenario-point declaration.
+
+    One ``suite_grid`` per machine scenario (the unified baseline plus
+    every clusters x policy x buses x latency combination); ~2,000
+    schedule runs on the full suite.
+    """
+    items = suite_grid(ctx.suite, unified_config(), scheduler, UnrollPolicy.NONE)
+    for n_clusters in cluster_counts:
+        for policy in POLICIES:
+            for n_buses in bus_counts:
+                for latency in latencies:
+                    cfg = paper_machine(n_clusters, n_buses, latency)
+                    items.extend(suite_grid(ctx.suite, cfg, scheduler, policy))
+    return items
 
 
 @dataclass(frozen=True)
@@ -45,8 +70,24 @@ def run_fig8(
     bus_counts: tuple[int, ...] = PAPER_BUS_COUNTS,
     latencies: tuple[int, ...] = PAPER_BUS_LATENCIES,
     scheduler: str = "bsa",
+    jobs: int | None = None,
 ) -> list[Fig8Point]:
-    """Run the Figure 8 grid: per-program IPC for every scenario."""
+    """Run the Figure 8 grid: per-program IPC for every scenario.
+
+    The grid executes through the runner (parallel across *jobs* worker
+    processes, persisted in the context's cache); the reduction below is
+    then pure memo lookups.
+    """
+    ctx.run_grid(
+        fig8_grid(
+            ctx,
+            cluster_counts=cluster_counts,
+            bus_counts=bus_counts,
+            latencies=latencies,
+            scheduler=scheduler,
+        ),
+        jobs=jobs,
+    )
     points: list[Fig8Point] = []
     unified = unified_config()
     for program in ctx.suite:

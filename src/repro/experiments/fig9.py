@@ -16,12 +16,31 @@ from dataclasses import dataclass
 from ..arch.configs import unified_config
 from ..core.selective import UnrollPolicy
 from ..perf.speedup import SpeedupReport, speedup_report
-from .common import ExperimentContext, geometric_mean, paper_machine
+from ..runner.scenario import GridItem
+from .common import ExperimentContext, geometric_mean, paper_machine, suite_grid
 
 SCENARIOS = (
     ("NU", UnrollPolicy.NONE),
     ("SU", UnrollPolicy.SELECTIVE),
 )
+
+
+def fig9_grid(
+    ctx: ExperimentContext,
+    *,
+    cluster_counts: tuple[int, ...] = (2, 4),
+    bus_counts: tuple[int, ...] = (1, 2),
+    bus_latency: int = 1,
+    scheduler: str = "bsa",
+) -> list[GridItem]:
+    """The Figure 9 grid as a flat scenario-point declaration."""
+    items = suite_grid(ctx.suite, unified_config(), scheduler, UnrollPolicy.NONE)
+    for n_clusters in cluster_counts:
+        for n_buses in bus_counts:
+            cfg = paper_machine(n_clusters, n_buses, bus_latency)
+            for _label, policy in SCENARIOS:
+                items.extend(suite_grid(ctx.suite, cfg, scheduler, policy))
+    return items
 
 
 @dataclass(frozen=True)
@@ -39,8 +58,19 @@ def run_fig9(
     bus_counts: tuple[int, ...] = (1, 2),
     bus_latency: int = 1,
     scheduler: str = "bsa",
+    jobs: int | None = None,
 ) -> list[Fig9Point]:
     """Run Figure 9: suite IPCs combined with modelled cycle times."""
+    ctx.run_grid(
+        fig9_grid(
+            ctx,
+            cluster_counts=cluster_counts,
+            bus_counts=bus_counts,
+            bus_latency=bus_latency,
+            scheduler=scheduler,
+        ),
+        jobs=jobs,
+    )
     unified = unified_config()
     unified_perfs = ctx.suite_ipc(unified, scheduler, UnrollPolicy.NONE)
     points = []

@@ -165,6 +165,16 @@ def schedule_to_dict(schedule) -> dict[str, Any]:
         "machine": config_to_dict(schedule.config),
         "ii": schedule.ii,
         "mii": schedule.mii,
+        "bus_utilisation": schedule.bus_utilisation,
+        "attempt_failures": [
+            {
+                "no_fu": log.no_fu,
+                "no_bus": log.no_bus,
+                "register_pressure": log.register_pressure,
+                "dependence_window": log.dependence_window,
+            }
+            for log in schedule.attempt_failures
+        ],
         "operations": [
             {
                 "node": op.node,
@@ -189,12 +199,16 @@ def schedule_to_dict(schedule) -> dict[str, Any]:
 
 def schedule_from_dict(data: dict[str, Any], catalog: OpCatalog = DEFAULT_CATALOG):
     """Rebuild a schedule; callers typically re-verify it afterwards."""
-    from ..core.schedule import Communication, ModuloSchedule, ScheduledOp
+    from ..core.schedule import Communication, FailureLog, ModuloSchedule, ScheduledOp
 
     _check_format(data, "schedule")
     graph = graph_from_dict(data["graph"], catalog)
     config = config_from_dict(data["machine"])
     schedule = ModuloSchedule(graph, config, data["ii"], mii=data["mii"])
+    schedule.bus_utilisation = data.get("bus_utilisation", 0.0)
+    schedule.attempt_failures = [
+        FailureLog(**log) for log in data.get("attempt_failures", [])
+    ]
     for op in data["operations"]:
         schedule.place(
             ScheduledOp(op["node"], op["cycle"], op["cluster"], op["fu_index"])

@@ -1,0 +1,194 @@
+"""Content-addressed on-disk result cache.
+
+Each executed :class:`~repro.runner.scenario.ScenarioPoint` is stored as
+one small JSON file whose name is
+``sha256(point.canonical() + code_version)``.  Consequences:
+
+* **resume for free** — an interrupted sweep re-hits every finished
+  point on the next run and recomputes only the remainder;
+* **cross-figure reuse** — figures that share scenario points (Figure 9
+  reuses Figure 8's schedules) share cache entries, across processes
+  and across sessions;
+* **invalidation by construction** — the code version participates in
+  the key, so bumping it (new release, changed result schema) orphans
+  every stale entry instead of silently serving it.
+
+Writes are atomic (``os.replace`` from a per-process temp file), so
+concurrent workers — or a sweep killed mid-write — can never publish a
+torn entry; a corrupt or unreadable file is treated as a miss and
+overwritten.  The cache root defaults to ``~/.cache/repro-vliw`` and is
+overridable via ``$REPRO_VLIW_CACHE`` or per instance.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+
+from .scenario import RESULT_FORMAT, PointResult, ScenarioPoint
+
+#: Environment variable overriding the default cache root.
+CACHE_ENV_VAR = "REPRO_VLIW_CACHE"
+
+
+def default_cache_root() -> Path:
+    """The cache directory used when none is given.
+
+    ``$REPRO_VLIW_CACHE`` when set, else ``$XDG_CACHE_HOME/repro-vliw``,
+    else ``~/.cache/repro-vliw``.
+    """
+    env = os.environ.get(CACHE_ENV_VAR)
+    if env:
+        return Path(env)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg) if xdg else Path.home() / ".cache"
+    return base / "repro-vliw"
+
+
+def default_code_version() -> str:
+    """The code version mixed into every cache key.
+
+    Combines the package release with the result-payload format, so
+    either a new release or a payload change invalidates old entries.
+    """
+    from .. import __version__
+
+    return f"{__version__}+fmt{RESULT_FORMAT}"
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """A snapshot of cache contents plus this instance's hit counters."""
+
+    root: str
+    code_version: str
+    entries: int
+    total_bytes: int
+    hits: int
+    misses: int
+    writes: int
+
+    def render(self) -> str:
+        """Human-readable stats block (the ``repro-vliw cache`` output)."""
+        return "\n".join(
+            [
+                f"cache root:    {self.root}",
+                f"code version:  {self.code_version}",
+                f"entries:       {self.entries}",
+                f"size:          {self.total_bytes / 1024:.1f} KiB",
+                f"this session:  {self.hits} hit(s), {self.misses} miss(es), "
+                f"{self.writes} write(s)",
+            ]
+        )
+
+
+class ResultCache:
+    """Content-addressed store of :class:`PointResult` payloads.
+
+    Parameters
+    ----------
+    root:
+        Cache directory (created lazily on first write); defaults to
+        :func:`default_cache_root`.
+    code_version:
+        Version string mixed into every key; defaults to
+        :func:`default_code_version`.  Tests pass explicit versions to
+        exercise invalidation.
+    """
+
+    def __init__(
+        self,
+        root: str | os.PathLike[str] | None = None,
+        *,
+        code_version: str | None = None,
+    ):
+        self.root = Path(root) if root is not None else default_cache_root()
+        self.code_version = code_version or default_code_version()
+        self.hits = 0
+        self.misses = 0
+        self.writes = 0
+
+    # ------------------------------------------------------------------
+    def key(self, point: ScenarioPoint) -> str:
+        """The content address of *point* under this code version."""
+        payload = point.canonical() + "\0" + self.code_version
+        return hashlib.sha256(payload.encode()).hexdigest()
+
+    def path_for(self, point: ScenarioPoint) -> Path:
+        """Where *point*'s result lives (whether or not it exists yet)."""
+        key = self.key(point)
+        return self.root / key[:2] / f"{key}.json"
+
+    # ------------------------------------------------------------------
+    def get(self, point: ScenarioPoint) -> PointResult | None:
+        """The cached result for *point*, or ``None`` on a miss.
+
+        Corrupt, truncated or version-mismatched entries count as misses
+        (and will be overwritten by the next :meth:`put`).
+        """
+        path = self.path_for(point)
+        try:
+            data = json.loads(path.read_text())
+            result = PointResult.from_dict(data)
+        except (OSError, ValueError, KeyError, TypeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def put(self, point: ScenarioPoint, result: PointResult) -> Path:
+        """Persist *result* for *point* atomically; returns the path."""
+        path = self.path_for(point)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(f".tmp{os.getpid()}")
+        tmp.write_text(json.dumps(result.to_dict(), sort_keys=True))
+        os.replace(tmp, path)
+        self.writes += 1
+        return path
+
+    def __contains__(self, point: ScenarioPoint) -> bool:
+        return self.path_for(point).is_file()
+
+    # ------------------------------------------------------------------
+    def stats(self) -> CacheStats:
+        """Walk the cache directory and snapshot entry count and size."""
+        entries = 0
+        total = 0
+        if self.root.is_dir():
+            for path in self.root.glob("*/*.json"):
+                try:
+                    total += path.stat().st_size
+                except OSError:  # pragma: no cover - racing deletion
+                    continue
+                entries += 1
+        return CacheStats(
+            root=str(self.root),
+            code_version=self.code_version,
+            entries=entries,
+            total_bytes=total,
+            hits=self.hits,
+            misses=self.misses,
+            writes=self.writes,
+        )
+
+    def clear(self) -> int:
+        """Delete every entry (all versions); returns how many."""
+        removed = 0
+        if not self.root.is_dir():
+            return 0
+        for path in self.root.glob("*/*.json"):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:  # pragma: no cover - racing deletion
+                continue
+        for sub in self.root.iterdir():
+            if sub.is_dir():
+                try:
+                    sub.rmdir()
+                except OSError:
+                    continue
+        return removed

@@ -1,0 +1,399 @@
+"""Scenario execution and the parallel sweep engine.
+
+:func:`execute_point` runs one :class:`ScenarioPoint` to a
+:class:`PointResult` — schedule under the point's unrolling policy
+(falling back to a one-iteration list schedule when modulo scheduling is
+impossible), then optionally execute it on the cycle-accurate simulator
+and diff against the analytic model.
+
+:func:`run_sweep` executes a whole grid: it serves every point it can
+from the on-disk cache, shards the misses **deterministically** (by
+content hash, so the work distribution is a pure function of the grid,
+not of timing) across a ``ProcessPoolExecutor``, and persists each
+result as it completes.  Because scheduling is deterministic per point
+and results are keyed by content, a sweep's output is byte-identical at
+``--jobs 1`` and ``--jobs N``, and a killed sweep resumes from whatever
+the cache already holds.
+
+The scheduler registry (:data:`SCHEDULERS`, :func:`make_scheduler`) and
+the list-schedule fallback live here so both the engine's workers and
+the experiment harnesses dispatch through one table;
+:mod:`repro.experiments.common` re-exports them.
+"""
+
+from __future__ import annotations
+
+import json
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from multiprocessing import get_context
+from typing import Any, Callable
+
+from ..arch.cluster import MachineConfig
+from ..core.base import SchedulerBase
+from ..core.bsa import BsaScheduler
+from ..core.list_schedule import list_schedule
+from ..core.selective import (
+    ScheduledLoopResult,
+    UnrollPolicy,
+    schedule_with_policy,
+)
+from ..core.twophase import TwoPhaseScheduler
+from ..core.unified import UnifiedScheduler
+from ..errors import SchedulingError
+from ..ir.ddg import DependenceGraph
+from ..ir.loop import Loop
+from ..ir.serialize import loop_from_dict, loop_to_dict
+from ..sim.crosscheck import crosscheck_loop
+from ..sim.memory import MemoryModel, RandomMissMemory
+from .cache import ResultCache
+from .scenario import GridItem, PointResult, ScenarioPoint, SimOutcome
+
+#: Scheduler factory signature: config -> scheduler.
+SchedulerFactory = Callable[[MachineConfig], SchedulerBase]
+
+#: Registered clustered schedulers, by the names used in scenario points,
+#: experiment grids and ablation studies.
+SCHEDULERS: dict[str, SchedulerFactory] = {
+    "bsa": lambda cfg: BsaScheduler(cfg),
+    "two-phase": lambda cfg: TwoPhaseScheduler(cfg),
+    "bsa-topo": lambda cfg: BsaScheduler(cfg, order="topo"),
+    "bsa-least-loaded": lambda cfg: BsaScheduler(
+        cfg, default_cluster_policy="least-loaded"
+    ),
+}
+
+
+def make_scheduler(name: str, config: MachineConfig) -> SchedulerBase:
+    """Instantiate a registered scheduler (unified machines always get SMS).
+
+    Raises
+    ------
+    KeyError
+        If *name* is not in :data:`SCHEDULERS` (and the machine is
+        clustered; the unified machine ignores the name).
+    """
+    if config.n_clusters == 1:
+        return UnifiedScheduler(config)
+    return SCHEDULERS[name](config)
+
+
+def sequential_fallback(
+    graph: DependenceGraph, config: MachineConfig
+) -> ScheduledLoopResult:
+    """A non-pipelined stand-in schedule for loops that defeat the
+    modulo schedulers: classic list scheduling of one iteration, II =
+    schedule length, SC = 1 — what a compiler emits when it skips
+    software pipelining."""
+    sched = list_schedule(graph, config)
+    return ScheduledLoopResult(sched, 1, UnrollPolicy.NONE)
+
+
+# ---------------------------------------------------------------------------
+# Point execution
+# ---------------------------------------------------------------------------
+def execute_point(
+    point: ScenarioPoint,
+    loop: Loop,
+    *,
+    prior: ScheduledLoopResult | None = None,
+    prior_fallback: bool = False,
+) -> PointResult:
+    """Run one scenario point to completion.
+
+    Parameters
+    ----------
+    point:
+        The work unit; its machine JSON is reconstructed here.
+    loop:
+        The live loop whose graph matches ``point.graph_hash``.
+    prior:
+        An already-computed schedule for the schedule-only twin of this
+        point (cache cross-pollination); skips rescheduling when given.
+    prior_fallback:
+        Whether *prior* was a list-schedule fallback.
+
+    Returns
+    -------
+    PointResult
+        The serialisable outcome, including the simulator comparison
+        when ``point.simulate`` is set.
+    """
+    config = point.config()
+    if prior is not None:
+        result, fallback = prior, prior_fallback
+    else:
+        scheduler = make_scheduler(point.scheduler, config)
+        try:
+            result = schedule_with_policy(
+                loop.graph,
+                scheduler,
+                point.unroll_policy,
+                rule=point.selective_rule,
+            )
+            fallback = False
+        except SchedulingError:
+            result = sequential_fallback(loop.graph, config)
+            fallback = True
+
+    sim = None
+    if point.simulate:
+        memory: MemoryModel | None = None
+        if point.miss_rate > 0.0:
+            memory = RandomMissMemory(
+                point.miss_rate, point.miss_penalty, point.seed
+            )
+        sim_loop = Loop(
+            graph=loop.graph, trip_count=point.niter, times_executed=1
+        )
+        check = crosscheck_loop(sim_loop, result, memory=memory)
+        sim = SimOutcome(
+            analytic_cycles=check.analytic_cycles,
+            simulated_cycles=check.simulated_cycles,
+            analytic_ipc=check.analytic_ipc,
+            simulated_ipc=check.simulated_ipc,
+        )
+    return PointResult.from_loop_result(result, fallback=fallback, sim=sim)
+
+
+def store_result(
+    cache: ResultCache, point: ScenarioPoint, result: PointResult
+) -> None:
+    """Persist a point result, cross-pollinating simulated points.
+
+    A simulated point's result embeds the full schedule, so its
+    schedule-only twin is written too (unless already present): a
+    crossval sweep warms the cache for Figure 8 and vice versa.
+    """
+    cache.put(point, result)
+    if result.sim is not None:
+        twin = point.without_simulation()
+        if twin not in cache:
+            cache.put(
+                twin,
+                PointResult(
+                    schedule=result.schedule,
+                    unroll_factor=result.unroll_factor,
+                    policy=result.policy,
+                    fallback=result.fallback,
+                ),
+            )
+
+
+# ---------------------------------------------------------------------------
+# Worker plumbing (must stay module-level: pickled across processes)
+# ---------------------------------------------------------------------------
+def _run_batch(
+    batch: list[dict[str, Any]],
+    cache_root: str | None,
+    code_version: str | None,
+) -> list[tuple[str, dict[str, Any]]]:
+    """Execute one shard of work items in a worker process.
+
+    Each item is ``{"point": <asdict>, "loop": <loop_to_dict>,
+    "prior": <PointResult.to_dict() | None>}``.  Results are written to
+    the shared cache *as each point completes* (atomic, content-keyed),
+    so a sweep killed mid-shard still resumes from every finished point.
+    Returns ``(canonical_key, result_payload)`` pairs.
+    """
+    cache = (
+        ResultCache(cache_root, code_version=code_version)
+        if cache_root is not None
+        else None
+    )
+    out: list[tuple[str, dict[str, Any]]] = []
+    for item in batch:
+        point = ScenarioPoint(**item["point"])
+        loop = loop_from_dict(item["loop"])
+        prior_payload = item.get("prior")
+        prior = prior_fallback = None
+        if prior_payload is not None:
+            prior_result = PointResult.from_dict(prior_payload)
+            prior = prior_result.loop_result()
+            prior_fallback = prior_result.fallback
+        result = execute_point(
+            point, loop, prior=prior, prior_fallback=bool(prior_fallback)
+        )
+        if cache is not None:
+            store_result(cache, point, result)
+        out.append((point.canonical(), result.to_dict()))
+    return out
+
+
+def _shard(
+    misses: list[tuple[str, GridItem]], jobs: int
+) -> list[list[tuple[str, GridItem]]]:
+    """Split cache misses into *jobs* deterministic shards.
+
+    Points are ordered by canonical key and dealt round-robin, so the
+    partition depends only on the grid contents — never on timing or
+    dict order — and shard loads stay balanced.
+    """
+    ordered = sorted(misses, key=lambda kv: kv[0])
+    shards: list[list[tuple[str, GridItem]]] = [[] for _ in range(jobs)]
+    for i, item in enumerate(ordered):
+        shards[i % jobs].append(item)
+    return [s for s in shards if s]
+
+
+# ---------------------------------------------------------------------------
+# The sweep driver
+# ---------------------------------------------------------------------------
+@dataclass
+class SweepStats:
+    """Accounting for one :func:`run_sweep` call."""
+
+    #: Distinct scenario points in the grid (duplicates collapse).
+    total: int = 0
+    #: Points served from the on-disk cache.
+    cached: int = 0
+    #: Points actually scheduled/simulated this run.
+    executed: int = 0
+    #: Executed points that required the list-schedule fallback.
+    fallbacks: int = 0
+    #: Worker processes used (1 = in-process serial execution).
+    jobs: int = 1
+
+    def merge(self, other: "SweepStats") -> None:
+        """Accumulate another run's counters into this one."""
+        self.total += other.total
+        self.cached += other.cached
+        self.executed += other.executed
+        self.fallbacks += other.fallbacks
+        self.jobs = max(self.jobs, other.jobs)
+
+    def render(self) -> str:
+        """One-line summary for CLI output."""
+        return (
+            f"{self.total} point(s): {self.cached} from cache, "
+            f"{self.executed} executed ({self.fallbacks} fallback(s)), "
+            f"jobs={self.jobs}"
+        )
+
+
+def run_sweep(
+    items: list[GridItem],
+    *,
+    jobs: int = 1,
+    cache: ResultCache | None = None,
+    fresh: bool = False,
+    prior_lookup: Callable[
+        [ScenarioPoint], tuple[ScheduledLoopResult, bool] | None
+    ]
+    | None = None,
+) -> tuple[dict[str, PointResult], SweepStats]:
+    """Execute a grid of scenario points, in parallel, through the cache.
+
+    Parameters
+    ----------
+    items:
+        The declared grid; duplicate points (same canonical identity)
+        are executed once.
+    jobs:
+        Worker processes.  ``1`` executes in-process (no pool, easier
+        debugging, identical results).
+    cache:
+        Shared on-disk cache; ``None`` disables persistence.
+    fresh:
+        Ignore cached entries (results are still written back).
+    prior_lookup:
+        Optional hook returning ``(schedule, was_fallback)`` for a
+        point's schedule-only twin (see
+        :meth:`ScenarioPoint.without_simulation`), or ``None`` when
+        unknown; lets simulated sweeps reuse schedules the caller
+        already holds in memory without losing fallback accounting.
+
+    Returns
+    -------
+    (results, stats):
+        *results* maps ``point.canonical()`` to :class:`PointResult`;
+        *stats* says how much work was actually done — ``stats.executed
+        == 0`` means the whole grid was served from cache.
+    """
+    unique: dict[str, GridItem] = {}
+    for point, loop in items:
+        unique.setdefault(point.canonical(), (point, loop))
+
+    results: dict[str, PointResult] = {}
+    stats = SweepStats(total=len(unique), jobs=max(1, jobs))
+
+    misses: list[tuple[str, GridItem]] = []
+    for key, (point, loop) in unique.items():
+        cached = cache.get(point) if (cache is not None and not fresh) else None
+        if cached is not None:
+            results[key] = cached
+            stats.cached += 1
+        else:
+            misses.append((key, (point, loop)))
+
+    if not misses:
+        return results, stats
+
+    def _prior_for(point: ScenarioPoint) -> tuple[ScheduledLoopResult | None, bool]:
+        """Schedule reuse for simulated points: memory first, then disk."""
+        if not point.simulate:
+            return None, False
+        twin = point.without_simulation()
+        if prior_lookup is not None:
+            known = prior_lookup(twin)
+            if known is not None:
+                return known
+        if cache is not None and not fresh:
+            cached_twin = cache.get(twin)
+            if cached_twin is not None:
+                return cached_twin.loop_result(), cached_twin.fallback
+        return None, False
+
+    if jobs <= 1:
+        for key, (point, loop) in misses:
+            prior, prior_fb = _prior_for(point)
+            result = execute_point(
+                point, loop, prior=prior, prior_fallback=prior_fb
+            )
+            if cache is not None:
+                store_result(cache, point, result)
+            results[key] = result
+            stats.executed += 1
+            stats.fallbacks += int(result.fallback)
+    else:
+        shards = _shard(misses, jobs)
+        payloads = []
+        for shard in shards:
+            batch = []
+            for _key, (point, loop) in shard:
+                prior, prior_fb = _prior_for(point)
+                batch.append(
+                    {
+                        "point": _point_dict(point),
+                        "loop": loop_to_dict(loop),
+                        "prior": (
+                            PointResult.from_loop_result(
+                                prior, fallback=prior_fb
+                            ).to_dict()
+                            if prior is not None
+                            else None
+                        ),
+                    }
+                )
+            payloads.append(batch)
+        cache_root = str(cache.root) if cache is not None else None
+        code_version = cache.code_version if cache is not None else None
+        with ProcessPoolExecutor(
+            max_workers=len(shards), mp_context=get_context("spawn")
+        ) as pool:
+            futures = [
+                pool.submit(_run_batch, batch, cache_root, code_version)
+                for batch in payloads
+            ]
+            for future in futures:
+                for key, payload in future.result():
+                    result = PointResult.from_dict(payload)
+                    results[key] = result
+                    stats.executed += 1
+                    stats.fallbacks += int(result.fallback)
+    return results, stats
+
+
+def _point_dict(point: ScenarioPoint) -> dict[str, Any]:
+    """Plain-dict form of a point (stable across pickling protocols)."""
+    return json.loads(point.canonical())

@@ -1,0 +1,308 @@
+"""Scenario work units and their results.
+
+A :class:`ScenarioPoint` is one self-describing unit of experiment work:
+*schedule this loop on this machine with this scheduler under this
+unrolling policy* — and optionally *then execute it on the
+cycle-accurate simulator*.  Points carry only primitive fields (names,
+canonical JSON, numbers), so they are hashable, picklable, and stable
+across processes; :meth:`ScenarioPoint.canonical` is the content-address
+used by both the in-process memo and the on-disk cache.
+
+A :class:`PointResult` is the JSON-serialisable outcome: the full
+schedule (via :mod:`repro.ir.serialize`), the transformation that
+produced it, and — for simulated points — the analytic-vs-simulated
+cycle and IPC comparison.  Everything any figure reducer needs can be
+recovered from it, which is what lets repeated sweeps skip scheduling
+entirely.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass
+from typing import TYPE_CHECKING, Any
+
+from ..core.selective import ScheduledLoopResult, SelectiveRule, UnrollPolicy
+from ..ir.ddg import DependenceGraph
+from ..ir.loop import Loop
+from ..ir.serialize import (
+    config_from_dict,
+    config_to_dict,
+    graph_to_dict,
+    schedule_from_dict,
+    schedule_to_dict,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..arch.cluster import MachineConfig
+
+#: Version of the :class:`PointResult` payload layout.  Bumping it
+#: invalidates every cache entry (it feeds the default code version).
+RESULT_FORMAT = 1
+
+
+def _canonical_json(data: Any) -> str:
+    """Deterministic JSON: sorted keys, no whitespace (hash input)."""
+    return json.dumps(data, sort_keys=True, separators=(",", ":"))
+
+
+def graph_content_hash(graph: DependenceGraph) -> str:
+    """Content hash of a dependence graph (name, operations, dependences).
+
+    The same loop hashes identically regardless of the suite or program
+    that owns it (ownership is not part of the graph), so shared loops
+    dedupe to one cache entry per scenario.  The graph *name* is part of
+    the content: two identically-shaped loops with different names are
+    distinct points.
+    """
+    return hashlib.sha256(
+        _canonical_json(graph_to_dict(graph)).encode()
+    ).hexdigest()[:24]
+
+
+def machine_to_json(config: "MachineConfig") -> str:
+    """Canonical JSON description of a machine configuration.
+
+    The full configuration (clusters, FU mix, registers, bus fabric) is
+    embedded in the scenario point, so arbitrary machines — not just the
+    paper's named ones — are cacheable and reconstructible in workers.
+    """
+    return _canonical_json(config_to_dict(config))
+
+
+def machine_from_json(text: str) -> "MachineConfig":
+    """Rebuild a machine configuration from :func:`machine_to_json`."""
+    return config_from_dict(json.loads(text))
+
+
+@dataclass(frozen=True)
+class ScenarioPoint:
+    """One hashable, self-describing unit of experiment work.
+
+    Attributes
+    ----------
+    loop:
+        Loop name (also embedded in the graph hash via the graph name).
+    graph_hash:
+        :func:`graph_content_hash` of the loop body.
+    machine:
+        Canonical machine JSON from :func:`machine_to_json`.
+    scheduler:
+        Registered scheduler name (see
+        :data:`repro.runner.engine.SCHEDULERS`); unified machines always
+        dispatch to the SMS scheduler regardless.
+    policy:
+        :class:`~repro.core.selective.UnrollPolicy` value string.
+    rule:
+        :class:`~repro.core.selective.SelectiveRule` value string.
+    simulate:
+        When true, the scheduled loop is also executed on the
+        cycle-accurate simulator and diffed against the analytic model.
+    niter:
+        Source iterations to simulate (the loop's trip count); only
+        meaningful when *simulate* is set.
+    miss_rate / miss_penalty / seed:
+        Optional memory-model parameters for simulated points
+        (``miss_rate == 0`` is the paper's perfect memory).
+    """
+
+    loop: str
+    graph_hash: str
+    machine: str
+    scheduler: str
+    policy: str
+    rule: str
+    simulate: bool = False
+    niter: int = 0
+    miss_rate: float = 0.0
+    miss_penalty: int = 0
+    seed: int = 0
+
+    def canonical(self) -> str:
+        """Canonical JSON identity of this point (the memo/cache key)."""
+        return _canonical_json(asdict(self))
+
+    def config(self) -> "MachineConfig":
+        """The machine configuration this point targets."""
+        return machine_from_json(self.machine)
+
+    @property
+    def unroll_policy(self) -> UnrollPolicy:
+        """The parsed :class:`UnrollPolicy`."""
+        return UnrollPolicy(self.policy)
+
+    @property
+    def selective_rule(self) -> SelectiveRule:
+        """The parsed :class:`SelectiveRule`."""
+        return SelectiveRule(self.rule)
+
+    def without_simulation(self) -> "ScenarioPoint":
+        """The schedule-only twin of a simulated point.
+
+        Used for cache cross-pollination: a simulated point can reuse a
+        schedule cached by a figure sweep, and vice versa.
+        """
+        return ScenarioPoint(
+            loop=self.loop,
+            graph_hash=self.graph_hash,
+            machine=self.machine,
+            scheduler=self.scheduler,
+            policy=self.policy,
+            rule=self.rule,
+        )
+
+    def describe(self) -> str:
+        """Short human-readable label (progress lines, error messages)."""
+        sim = f" sim(niter={self.niter})" if self.simulate else ""
+        return (
+            f"{self.loop} @ {json.loads(self.machine)['name']} "
+            f"[{self.scheduler}/{self.policy}]{sim}"
+        )
+
+
+def scenario_for(
+    loop: Loop,
+    config: "MachineConfig",
+    scheduler: str,
+    policy: UnrollPolicy,
+    rule: SelectiveRule = SelectiveRule.MII_UNROLLED,
+    *,
+    simulate: bool = False,
+    niter: int | None = None,
+    miss_rate: float = 0.0,
+    miss_penalty: int = 0,
+    seed: int = 0,
+) -> ScenarioPoint:
+    """Build the :class:`ScenarioPoint` for one (loop, machine, algorithm)
+    data point.
+
+    *niter* defaults to the loop's trip count when *simulate* is set.
+    """
+    return ScenarioPoint(
+        loop=loop.name,
+        graph_hash=graph_content_hash(loop.graph),
+        machine=machine_to_json(config),
+        scheduler=scheduler,
+        policy=policy.value,
+        rule=rule.value,
+        simulate=simulate,
+        niter=(loop.trip_count if niter is None else niter) if simulate else 0,
+        miss_rate=miss_rate if simulate else 0.0,
+        miss_penalty=miss_penalty if simulate else 0,
+        seed=seed if simulate else 0,
+    )
+
+
+@dataclass(frozen=True)
+class SimOutcome:
+    """Analytic-vs-simulated numbers for one executed scenario point."""
+
+    analytic_cycles: int
+    simulated_cycles: int
+    analytic_ipc: float
+    simulated_ipc: float
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready payload."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "SimOutcome":
+        """Rebuild from :meth:`to_dict` output."""
+        return cls(
+            analytic_cycles=data["analytic_cycles"],
+            simulated_cycles=data["simulated_cycles"],
+            analytic_ipc=data["analytic_ipc"],
+            simulated_ipc=data["simulated_ipc"],
+        )
+
+
+@dataclass(frozen=True)
+class PointResult:
+    """The serialisable outcome of executing one :class:`ScenarioPoint`.
+
+    Attributes
+    ----------
+    schedule:
+        ``schedule_to_dict`` payload of the emitted modulo schedule
+        (of the unrolled graph when the policy unrolled).
+    unroll_factor:
+        How many source iterations one kernel iteration retires.
+    policy:
+        The :class:`UnrollPolicy` value the point was scheduled under.
+    fallback:
+        True when modulo scheduling failed and the point was charged the
+        non-pipelined list-schedule fallback.
+    sim:
+        :class:`SimOutcome` for simulated points, else ``None``.
+    """
+
+    schedule: dict[str, Any]
+    unroll_factor: int
+    policy: str
+    fallback: bool = False
+    sim: SimOutcome | None = None
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready payload (the on-disk cache value)."""
+        return {
+            "format": RESULT_FORMAT,
+            "schedule": self.schedule,
+            "unroll_factor": self.unroll_factor,
+            "policy": self.policy,
+            "fallback": self.fallback,
+            "sim": self.sim.to_dict() if self.sim else None,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "PointResult":
+        """Rebuild from :meth:`to_dict` output.
+
+        Raises
+        ------
+        KeyError / ValueError
+            On malformed payloads (the cache treats those as misses).
+        """
+        if data.get("format") != RESULT_FORMAT:
+            raise ValueError(
+                f"unsupported point-result format {data.get('format')!r}"
+            )
+        sim = data.get("sim")
+        return cls(
+            schedule=data["schedule"],
+            unroll_factor=data["unroll_factor"],
+            policy=data["policy"],
+            fallback=data["fallback"],
+            sim=SimOutcome.from_dict(sim) if sim else None,
+        )
+
+    def loop_result(self) -> ScheduledLoopResult:
+        """Materialise the :class:`ScheduledLoopResult` (deserialising the
+        schedule on first use)."""
+        sched = schedule_from_dict(self.schedule)
+        return ScheduledLoopResult(
+            sched, self.unroll_factor, UnrollPolicy(self.policy)
+        )
+
+    @classmethod
+    def from_loop_result(
+        cls,
+        result: ScheduledLoopResult,
+        *,
+        fallback: bool = False,
+        sim: SimOutcome | None = None,
+    ) -> "PointResult":
+        """Wrap a live :class:`ScheduledLoopResult` for caching."""
+        return cls(
+            schedule=schedule_to_dict(result.schedule),
+            unroll_factor=result.unroll_factor,
+            policy=result.policy.value,
+            fallback=fallback,
+            sim=sim,
+        )
+
+
+#: One entry of a declared grid: the work unit plus the live loop whose
+#: graph the worker will schedule.  Grids are lists of these.
+GridItem = tuple[ScenarioPoint, Loop]

@@ -32,7 +32,9 @@ class CrossCheck:
     simulated_cycles: int
     analytic_ipc: float
     simulated_ipc: float
-    report: SimReport
+    #: The full simulator report, when the check ran in this process
+    #: (``None`` when the numbers were replayed from the result cache).
+    report: SimReport | None = None
 
     @property
     def cycle_divergence(self) -> int:

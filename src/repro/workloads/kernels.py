@@ -242,10 +242,34 @@ ALL_KERNELS = {
 }
 
 #: Accept the builder functions' own names too (``dot_product`` for ``dot``
-#: and so on) — the CLI and docs use both interchangeably.
+#: and so on) — the CLI and docs use both interchangeably.  The full
+#: canonical-name -> alias table is printed by ``repro-vliw schedule
+#: --list`` (see :func:`kernel_table`) and documented in README.md.
 KERNEL_ALIASES = {
     fn.__name__: short for short, fn in ALL_KERNELS.items() if fn.__name__ != short
 }
+
+
+def kernel_table() -> list[dict]:
+    """The canonical-name -> alias catalogue as table rows.
+
+    One row per registered kernel: canonical name, the accepted alias
+    (the builder function's own name, when it differs), and the kernel's
+    one-line description from its docstring.  This single source feeds
+    ``repro-vliw schedule --list`` and the README table.
+    """
+    aliases_by_canonical = {short: long for long, short in KERNEL_ALIASES.items()}
+    rows = []
+    for name, fn in ALL_KERNELS.items():
+        doc = (fn.__doc__ or "").strip().splitlines()
+        rows.append(
+            {
+                "kernel": name,
+                "alias": aliases_by_canonical.get(name, ""),
+                "description": doc[0] if doc else "",
+            }
+        )
+    return rows
 
 
 def resolve_kernel(name: str) -> tuple[str, Callable[[], DependenceGraph]]:

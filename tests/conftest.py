@@ -12,6 +12,16 @@ from repro.arch.configs import (
 from repro.workloads.kernels import ALL_KERNELS
 
 
+@pytest.fixture(autouse=True)
+def _isolated_result_cache(tmp_path, monkeypatch):
+    """Point the runner's default result cache at a per-test tmp dir.
+
+    CLI commands cache by default; tests must never read from or write
+    to the developer's real ``~/.cache/repro-vliw``.
+    """
+    monkeypatch.setenv("REPRO_VLIW_CACHE", str(tmp_path / "repro-cache"))
+
+
 @pytest.fixture
 def unified():
     return unified_config()

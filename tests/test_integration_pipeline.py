@@ -36,7 +36,7 @@ class TestMiniEvaluation:
         cfg = four_cluster_config(1, 1)
         for program in mini.suite:
             mini.program_ipc(program, cfg, "bsa", UnrollPolicy.SELECTIVE)
-        for result in mini.cache.values():
+        for result in mini.memo.values():
             verify_schedule(result.schedule)
 
     def test_unrolling_recovers_ipc(self, mini):
@@ -85,7 +85,7 @@ class TestMiniEvaluation:
         assert sum(i.useful_ops for i in code) == size.useful_ops
 
     def test_ii_never_below_mii_anywhere(self, mini):
-        for result in mini.cache.values():
+        for result in mini.memo.values():
             assert result.schedule.ii >= result.schedule.mii
 
     def test_unified_ipc_bounded_by_issue_width(self, mini):

@@ -1,0 +1,358 @@
+"""Tests for the parallel, cache-backed experiment engine (repro.runner).
+
+Covers the acceptance criteria of the runner work:
+
+* cache hit / miss / invalidation on a code-version bump;
+* deterministic, byte-identical figure data at ``--jobs 1`` vs
+  ``--jobs N``;
+* resume semantics: a sweep that died mid-way recomputes only the
+  missing points;
+* a second figure invocation completes entirely from cache with zero
+  scheduler calls.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.arch.configs import four_cluster_config, two_cluster_config, unified_config
+from repro.core.base import SchedulerBase
+from repro.core.selective import SelectiveRule, UnrollPolicy
+from repro.core.unified import UnifiedScheduler
+from repro.experiments import (
+    ExperimentContext,
+    fig8_grid,
+    fig8_rows,
+    run_crossval,
+    run_fig8,
+    suite_grid,
+)
+from repro.runner import (
+    PointResult,
+    ResultCache,
+    execute_point,
+    run_sweep,
+    scenario_for,
+)
+from repro.runner.engine import store_result
+from repro.workloads.kernels import kernel_loop
+from repro.workloads.specfp import build_program
+
+FIG8_DIMS = dict(cluster_counts=(2,), bus_counts=(1,), latencies=(1,))
+
+
+@pytest.fixture()
+def cache(tmp_path):
+    return ResultCache(tmp_path / "cache", code_version="test-v1")
+
+
+def small_suite():
+    return [build_program("applu")]
+
+
+def small_ctx(cache=None, jobs=1):
+    return ExperimentContext(suite=small_suite(), cache=cache, jobs=jobs)
+
+
+class TestScenarioPoint:
+    def test_identity_is_content_addressed(self):
+        """Same loop body, scheduler and machine -> same identity."""
+        a = scenario_for(
+            kernel_loop("daxpy"), two_cluster_config(), "bsa", UnrollPolicy.NONE
+        )
+        b = scenario_for(
+            kernel_loop("daxpy"), two_cluster_config(), "bsa", UnrollPolicy.NONE
+        )
+        assert a == b
+        assert a.canonical() == b.canonical()
+
+    def test_identity_distinguishes_machine_and_policy(self):
+        loop = kernel_loop("daxpy")
+        base = scenario_for(loop, two_cluster_config(), "bsa", UnrollPolicy.NONE)
+        other_cfg = scenario_for(
+            loop, four_cluster_config(), "bsa", UnrollPolicy.NONE
+        )
+        other_policy = scenario_for(
+            loop, two_cluster_config(), "bsa", UnrollPolicy.ALL
+        )
+        assert base.canonical() != other_cfg.canonical()
+        assert base.canonical() != other_policy.canonical()
+
+    def test_without_simulation_twin(self):
+        point = scenario_for(
+            kernel_loop("daxpy", trip_count=50),
+            two_cluster_config(),
+            "bsa",
+            UnrollPolicy.NONE,
+            simulate=True,
+        )
+        twin = point.without_simulation()
+        assert point.simulate and point.niter == 50
+        assert not twin.simulate and twin.niter == 0
+        assert twin.graph_hash == point.graph_hash
+
+    def test_result_roundtrip(self):
+        loop = kernel_loop("daxpy")
+        point = scenario_for(loop, two_cluster_config(), "bsa", UnrollPolicy.NONE)
+        result = execute_point(point, loop)
+        back = PointResult.from_dict(json.loads(json.dumps(result.to_dict())))
+        assert back.loop_result().ii == result.loop_result().ii
+        assert back.unroll_factor == result.unroll_factor
+
+
+class TestResultCache:
+    def test_miss_then_hit(self, cache):
+        loop = kernel_loop("daxpy")
+        point = scenario_for(loop, two_cluster_config(), "bsa", UnrollPolicy.NONE)
+        assert cache.get(point) is None
+        result = execute_point(point, loop)
+        cache.put(point, result)
+        again = cache.get(point)
+        assert again is not None
+        assert again.loop_result().ii == result.loop_result().ii
+        assert cache.stats().entries == 1
+        assert cache.stats().hits == 1 and cache.stats().misses == 1
+
+    def test_code_version_bump_invalidates(self, tmp_path):
+        """Entries written under one code version are unreachable under
+        another — the invalidation mechanism of the whole cache."""
+        loop = kernel_loop("daxpy")
+        point = scenario_for(loop, two_cluster_config(), "bsa", UnrollPolicy.NONE)
+        v1 = ResultCache(tmp_path / "c", code_version="v1")
+        v1.put(point, execute_point(point, loop))
+        assert v1.get(point) is not None
+        v2 = ResultCache(tmp_path / "c", code_version="v2")
+        assert v2.get(point) is None
+        # the old entry is still on disk (clear wipes all versions)
+        assert v2.stats().entries == 1
+        assert v2.clear() == 1
+        assert ResultCache(tmp_path / "c", code_version="v1").get(point) is None
+
+    def test_corrupt_entry_is_a_miss(self, cache):
+        loop = kernel_loop("daxpy")
+        point = scenario_for(loop, two_cluster_config(), "bsa", UnrollPolicy.NONE)
+        cache.put(point, execute_point(point, loop))
+        cache.path_for(point).write_text("{not json")
+        assert cache.get(point) is None
+
+    def test_sim_point_cross_pollinates_schedule(self, cache):
+        """Caching a simulated point also publishes its schedule twin."""
+        loop = kernel_loop("daxpy", trip_count=20)
+        point = scenario_for(
+            loop, two_cluster_config(), "bsa", UnrollPolicy.NONE, simulate=True
+        )
+        store_result(cache, point, execute_point(point, loop))
+        twin = cache.get(point.without_simulation())
+        assert twin is not None and twin.sim is None
+        assert cache.stats().entries == 2
+
+
+class TestRunSweep:
+    def grid(self):
+        suite = small_suite()
+        return suite_grid(suite, two_cluster_config(), "bsa", UnrollPolicy.NONE)
+
+    def test_duplicates_collapse(self, cache):
+        items = self.grid()
+        results, stats = run_sweep(items + items, cache=cache)
+        assert stats.total == len(items)
+        assert stats.executed == len(items)
+        assert len(results) == len(items)
+
+    def test_resume_after_partial_sweep(self, cache):
+        """A killed sweep's surviving cache entries are not recomputed."""
+        items = self.grid()
+        half = items[: len(items) // 2]
+        _, first = run_sweep(half, cache=cache)
+        assert first.executed == len(half)
+        _, second = run_sweep(items, cache=cache)
+        assert second.cached == len(half)
+        assert second.executed == len(items) - len(half)
+        _, third = run_sweep(items, cache=cache)
+        assert third.executed == 0 and third.cached == len(items)
+
+    def test_fresh_recomputes_but_rewrites(self, cache):
+        items = self.grid()
+        run_sweep(items, cache=cache)
+        _, stats = run_sweep(items, cache=cache, fresh=True)
+        assert stats.executed == len(items) and stats.cached == 0
+        _, warm = run_sweep(items, cache=cache)
+        assert warm.executed == 0
+
+    def test_parallel_matches_serial(self, cache):
+        """Deterministic sharding: jobs=4 returns the same results."""
+        items = self.grid()
+        serial, _ = run_sweep(items)
+        parallel, stats = run_sweep(items, jobs=4, cache=cache)
+        assert stats.jobs == 4
+        assert serial.keys() == parallel.keys()
+        for key in serial:
+            assert serial[key].to_dict() == parallel[key].to_dict()
+
+
+class TestFig8ThroughRunner:
+    """The acceptance criteria: byte-identical figure data, full cache reuse."""
+
+    def rows(self, ctx):
+        return json.dumps(fig8_rows(run_fig8(ctx, **FIG8_DIMS)), sort_keys=True)
+
+    def test_jobs1_vs_jobsN_byte_identical(self, cache):
+        serial = self.rows(small_ctx())
+        parallel = self.rows(small_ctx(cache=cache, jobs=4))
+        assert serial == parallel
+
+    def test_second_invocation_zero_scheduler_calls(self, cache, monkeypatch):
+        first = small_ctx(cache=cache)
+        first_rows = self.rows(first)
+        assert first.stats.executed > 0
+
+        calls = {"n": 0}
+        original = SchedulerBase.schedule
+
+        def counting(self, graph):
+            calls["n"] += 1
+            return original(self, graph)
+
+        monkeypatch.setattr(SchedulerBase, "schedule", counting)
+        monkeypatch.setattr(UnifiedScheduler, "schedule", counting)
+        second = small_ctx(cache=cache)
+        second_rows = self.rows(second)
+        assert second_rows == first_rows
+        assert calls["n"] == 0, "cached run must not invoke any scheduler"
+        assert second.stats.executed == 0
+        assert second.stats.cached == second.stats.total > 0
+
+    def test_grid_declaration_covers_reduction(self):
+        """Every point the Figure 8 reducer asks for is in the grid."""
+        ctx = small_ctx()
+        grid = fig8_grid(ctx, **FIG8_DIMS)
+        stats = ctx.run_grid(grid)
+        assert stats.executed == stats.total > 0
+        run_fig8(ctx, **FIG8_DIMS)
+        # the reduction found everything in the memo: nothing re-ran
+        assert ctx.stats.executed == stats.executed
+
+
+def starved_case():
+    """A (program, machine) pair that forces the list-schedule fallback."""
+    from repro.arch.cluster import MachineConfig
+    from repro.arch.resources import BusSpec, FuSet
+    from repro.ir.ddg import DependenceGraph
+    from repro.ir.loop import Loop, Program
+
+    g = DependenceGraph("fat")
+    p1 = g.add_operation("fadd")
+    p2 = g.add_operation("fadd")
+    c = g.add_operation("fadd")
+    g.add_dependence(p1, c)
+    g.add_dependence(p2, c)
+    prog = Program("p", [Loop(graph=g, trip_count=100)])
+    # One cluster, one register: c reads two values in one cycle, so no
+    # modulo schedule exists and the harness must fall back.
+    starved = MachineConfig("starved", 1, FuSet(1, 1, 1), 1, BusSpec(0, 1))
+    return prog, starved
+
+
+class TestContextIntegration:
+    def test_fallback_survives_cache_roundtrip(self, tmp_path):
+        """A starved machine's fallback is recorded on replay too."""
+        prog, starved = starved_case()
+        cache = ResultCache(tmp_path / "c", code_version="v")
+
+        ctx = ExperimentContext(suite=[prog], cache=cache)
+        ctx.program_ipc(prog, starved, "bsa", UnrollPolicy.NONE)
+        assert len(ctx.fallbacks) == 1
+
+        replay = ExperimentContext(suite=[prog], cache=cache)
+        replay.program_ipc(prog, starved, "bsa", UnrollPolicy.NONE)
+        assert len(replay.fallbacks) == 1
+        assert replay.stats.executed == 0
+
+    def test_fallback_flag_survives_sim_prior(self, tmp_path):
+        """Simulating on top of a memoised fallback schedule keeps the
+        fallback flag in the cached sim point."""
+        prog, starved = starved_case()
+        loop = prog.loops[0]
+        cache = ResultCache(tmp_path / "c", code_version="v")
+
+        ctx = ExperimentContext(suite=[prog], cache=cache)
+        ctx.schedule_loop(loop, starved, "bsa", UnrollPolicy.NONE)
+        assert len(ctx.fallbacks) == 1
+        ctx.crosscheck_loop(loop, starved, "bsa", UnrollPolicy.NONE)
+
+        replay = ExperimentContext(suite=[prog], cache=cache)
+        replay.crosscheck_loop(loop, starved, "bsa", UnrollPolicy.NONE)
+        assert len(replay.fallbacks) == 1
+        assert replay.stats.executed == 0
+
+    def test_crossval_warms_fig8(self, cache):
+        """Simulated sweeps publish their schedules for the figures."""
+        ctx = ExperimentContext(suite=small_suite(), cache=cache)
+        run_crossval(ctx, **FIG8_DIMS)
+        later = ExperimentContext(suite=small_suite(), cache=cache)
+        run_fig8(later, **FIG8_DIMS)
+        assert later.stats.executed == 0
+
+    def test_selective_rules_cache_separately(self, cache):
+        ctx = small_ctx(cache=cache)
+        loop = ctx.suite[0].eligible_loops()[0]
+        cfg = four_cluster_config(1, 2)
+        r1 = ctx.schedule_loop(
+            loop, cfg, "bsa", UnrollPolicy.SELECTIVE, SelectiveRule.MII_UNROLLED
+        )
+        r2 = ctx.schedule_loop(
+            loop, cfg, "bsa", UnrollPolicy.SELECTIVE, SelectiveRule.LITERAL
+        )
+        assert ctx.stats.executed == 2
+        assert r1.schedule.is_complete and r2.schedule.is_complete
+
+    def test_memo_object_identity(self):
+        ctx = small_ctx()
+        loop = ctx.suite[0].eligible_loops()[0]
+        cfg = unified_config()
+        r1 = ctx.schedule_loop(loop, cfg, "bsa", UnrollPolicy.NONE)
+        r2 = ctx.schedule_loop(loop, cfg, "bsa", UnrollPolicy.NONE)
+        assert r1 is r2
+
+
+class TestSweepCli:
+    def test_cache_stats_and_clear(self, tmp_path, capsys):
+        from repro.cli import main
+
+        cache_dir = tmp_path / "cli-cache"
+        main(["cache", "stats", "--cache-dir", str(cache_dir)])
+        out = capsys.readouterr().out
+        assert "entries:       0" in out
+        main(["cache", "clear", "--cache-dir", str(cache_dir)])
+        out = capsys.readouterr().out
+        assert "removed 0" in out
+
+    def test_sweep_lists_grids(self, capsys):
+        from repro.cli import main
+
+        main(["sweep", "--list"])
+        out = capsys.readouterr().out
+        for name in ("fig4", "fig8", "fig9", "fig10", "crossval", "ablation"):
+            assert name in out
+
+    def test_sweep_unknown_grid_exits(self):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit):
+            main(["sweep", "nonsense"])
+
+    def test_schedule_list_prints_aliases(self, capsys):
+        from repro.cli import main
+
+        main(["schedule", "--list"])
+        out = capsys.readouterr().out
+        assert "dot_product" in out  # alias column
+        assert "daxpy" in out
+
+    def test_schedule_requires_kernel_or_list(self):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit):
+            main(["schedule"])

@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Fail on broken intra-repo links in the repository's Markdown files.
+
+Scans every ``*.md`` file (repo root, ``docs/``, and any other tracked
+directory), extracts ``[text](target)`` links, and checks that every
+relative target resolves to an existing file or directory.  External
+links (``http(s)://``, ``mailto:``) and pure in-page anchors (``#…``)
+are skipped; a ``path#fragment`` target is checked for the path part
+only.
+
+Used by the CI docs job::
+
+    python tools/check_links.py
+
+Exit status is non-zero if any link is broken, with one line per
+offender.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+#: Inline Markdown links: [text](target).  Deliberately simple — the
+#: repo's docs do not use reference-style links or angle brackets.
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+#: Directories never scanned (caches, VCS internals, virtualenvs).
+SKIP_DIRS = {".git", "__pycache__", ".pytest_cache", "node_modules", ".venv"}
+
+
+def iter_markdown_files(root: Path) -> list[Path]:
+    """Every ``*.md`` file under *root*, skipping junk directories."""
+    files = []
+    for path in sorted(root.rglob("*.md")):
+        if any(part in SKIP_DIRS for part in path.parts):
+            continue
+        files.append(path)
+    return files
+
+
+def broken_links(md_file: Path) -> list[tuple[str, str]]:
+    """The (target, reason) pairs of broken relative links in one file."""
+    problems = []
+    text = md_file.read_text(encoding="utf-8")
+    for target in LINK_RE.findall(text):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        if target.startswith("#"):  # in-page anchor
+            continue
+        path_part = target.split("#", 1)[0]
+        if not path_part:
+            continue
+        resolved = (md_file.parent / path_part).resolve()
+        if not resolved.exists():
+            problems.append((target, f"no such file: {resolved}"))
+    return problems
+
+
+def main() -> int:
+    root = Path(__file__).resolve().parent.parent
+    failures = 0
+    files = iter_markdown_files(root)
+    for md_file in files:
+        for target, reason in broken_links(md_file):
+            print(f"{md_file.relative_to(root)}: broken link ({target}): {reason}")
+            failures += 1
+    print(
+        f"checked {len(files)} markdown file(s): "
+        f"{failures} broken link(s)"
+    )
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
