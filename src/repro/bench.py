@@ -1,0 +1,501 @@
+"""Continuous micro-benchmark harness (``repro-vliw bench``).
+
+Times the package's hot paths — schedule construction, the cycle-accurate
+simulator and a miniature runner sweep — on *pinned* kernels and machine
+configurations, so successive runs measure code speed and nothing else.
+The trajectory is recorded as ``BENCH_<n>.json`` files (the repo root by
+convention): ``--record`` writes the next file in the sequence,
+``--baseline FILE`` embeds a previous run's numbers as the before/after
+comparison, and ``--compare FILE`` turns the run into a regression gate
+that fails when any benchmark got more than ``--threshold`` slower
+(20% by default) — the mode CI runs.
+
+Methodology:
+
+* every benchmark is a closure over prebuilt inputs (graph construction
+  and config setup are *not* timed) and runs an identical workload in
+  quick and full mode — ``--quick`` only trims repeats and skips the
+  benchmarks marked *heavy*, so any two runs of the same benchmark name
+  are comparable;
+* each benchmark runs once untimed (warm-up), then ``--repeat`` times;
+  the *best* wall-clock time is the recorded figure (minimum over
+  repeats is the standard noise filter), with the mean kept for context;
+* a fixed pure-Python *calibration* spin is timed alongside and stored in
+  every document; the regression gate rescales baseline times by the
+  calibration ratio, so a baseline recorded on a faster or slower host
+  still gates meaningfully.
+"""
+
+from __future__ import annotations
+
+import gc
+import json
+import platform
+import re
+import sys
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable
+
+from .arch.configs import four_cluster_config, two_cluster_config, unified_config
+from .ir.ddg import DependenceGraph
+from .ir.unroll import unroll_graph
+from .workloads.generator import LoopShape, RecurrenceSpec, generate_loop
+from .workloads.kernels import fir_filter, hydro_fragment, stencil5
+
+#: Benchmark file format version (bump on incompatible schema changes).
+BENCH_FORMAT = 1
+
+#: Regression threshold for ``--compare`` (fractional slowdown).
+DEFAULT_THRESHOLD = 0.20
+
+_BENCH_NAME = re.compile(r"^BENCH_(\d+)\.json$")
+
+
+# ----------------------------------------------------------------------
+# Pinned workloads
+# ----------------------------------------------------------------------
+def pinned_graphs() -> list[DependenceGraph]:
+    """The scheduling workload: unrolled kernels plus synthetic bodies.
+
+    Chosen to exercise every placement-engine path: recurrences (pressure
+    probes), unrolled copies (cross-cluster communications) and plain DAG
+    parallelism (FU contention).  Identical for every run — only the code
+    under test may change the timings.
+    """
+    graphs: list[DependenceGraph] = [
+        unroll_graph(fir_filter(6), 2),
+        unroll_graph(stencil5(), 2),
+        hydro_fragment(),
+        unroll_graph(hydro_fragment(), 4),
+    ]
+    shapes = [
+        LoopShape(
+            name="bench-syn32",
+            seed=1201,
+            n_ops=32,
+            recurrences=(RecurrenceSpec(3, 1),),
+        ),
+        LoopShape(
+            name="bench-syn40",
+            seed=7,
+            n_ops=40,
+            recurrences=(RecurrenceSpec(2, 1),),
+            carried_edge_prob=0.03,
+        ),
+        LoopShape(
+            name="bench-syn48",
+            seed=1202,
+            n_ops=48,
+            recurrences=(RecurrenceSpec(2, 2), RecurrenceSpec(4, 1)),
+            carried_edge_prob=0.05,
+        ),
+    ]
+    graphs.extend(generate_loop(shape) for shape in shapes)
+    return graphs
+
+
+# ----------------------------------------------------------------------
+# Benchmark definitions
+# ----------------------------------------------------------------------
+@dataclass
+class Benchmark:
+    """One named micro-benchmark: a prepared closure plus its work count."""
+
+    name: str
+    description: str
+    #: Build the timed closure (called once, outside the timed region);
+    #: returns the closure and the number of logical work items per run.
+    prepare: Callable[[], tuple[Callable[[], object], int]]
+    #: Heavy benchmarks are skipped under ``--quick`` (the CI mode).
+    heavy: bool = False
+
+
+def _bench_placement_bsa() -> Benchmark:
+    def prepare():
+        from .core.bsa import BsaScheduler
+
+        graphs = pinned_graphs()
+        configs = [four_cluster_config(1, 1), two_cluster_config(1, 2)]
+
+        def run():
+            for cfg in configs:
+                scheduler = BsaScheduler(cfg)
+                for g in graphs:
+                    scheduler.schedule(g)
+
+        return run, len(graphs) * len(configs)
+
+    return Benchmark(
+        "schedule.placement",
+        "BSA placement hot path: pinned kernels on clustered machines",
+        prepare,
+    )
+
+
+def _bench_placement_twophase() -> Benchmark:
+    def prepare():
+        from .core.twophase import TwoPhaseScheduler
+
+        graphs = pinned_graphs()
+        cfg = four_cluster_config(1, 1)
+
+        def run():
+            scheduler = TwoPhaseScheduler(cfg)
+            for g in graphs:
+                scheduler.schedule(g)
+
+        return run, len(graphs)
+
+    return Benchmark(
+        "schedule.twophase",
+        "Two-phase (partition-then-schedule) comparator on the same kernels",
+        prepare,
+    )
+
+
+def _bench_unified_sms() -> Benchmark:
+    def prepare():
+        from .core.unified import UnifiedScheduler
+
+        graphs = pinned_graphs()
+        cfg = unified_config()
+
+        def run():
+            scheduler = UnifiedScheduler(cfg)
+            for g in graphs:
+                scheduler.schedule(g)
+
+        return run, len(graphs)
+
+    return Benchmark(
+        "schedule.unified",
+        "SMS on the unified machine (no communications, pure scan)",
+        prepare,
+    )
+
+
+def _bench_pressure_scratch() -> Benchmark:
+    def prepare():
+        from .core.bsa import BsaScheduler
+        from .core.lifetimes import cluster_pressures
+
+        cfg = four_cluster_config(1, 1)
+        schedules = [BsaScheduler(cfg).schedule(g) for g in pinned_graphs()]
+        reps = 50
+
+        def run():
+            for _ in range(reps):
+                for sched in schedules:
+                    cluster_pressures(sched)
+
+        return run, reps * len(schedules)
+
+    return Benchmark(
+        "pressure.scratch",
+        "From-scratch MaxLive recomputation on completed schedules",
+        prepare,
+    )
+
+
+def _bench_simulate() -> Benchmark:
+    def prepare():
+        from .core.bsa import BsaScheduler
+        from .sim import crosscheck_schedule
+
+        cfg = four_cluster_config(1, 1)
+        graph = unroll_graph(fir_filter(6), 2)
+        sched = BsaScheduler(cfg).schedule(graph)
+        niter = 200
+
+        def run():
+            crosscheck_schedule(
+                sched, niter, unroll_factor=2, ops_per_source_iteration=len(graph) // 2
+            )
+
+        return run, niter
+
+    return Benchmark(
+        "sim.execute",
+        "Cycle-accurate simulation of a scheduled, unrolled kernel",
+        prepare,
+    )
+
+
+def _bench_sweep_micro() -> Benchmark:
+    def prepare():
+        from .core.selective import UnrollPolicy
+        from .experiments import suite_grid
+        from .runner import run_sweep
+        from .workloads.specfp import build_program
+
+        suite = [build_program("applu")]
+        items = suite_grid(suite, two_cluster_config(1, 1), "bsa", UnrollPolicy.NONE)
+
+        def run():
+            run_sweep(items, cache=None)
+
+        return run, len(items)
+
+    return Benchmark(
+        "sweep.micro",
+        "Uncached single-process runner sweep over one SPECfp program",
+        prepare,
+        heavy=True,
+    )
+
+
+def all_benchmarks() -> list[Benchmark]:
+    """The benchmark registry, in reporting order."""
+    return [
+        _bench_placement_bsa(),
+        _bench_placement_twophase(),
+        _bench_unified_sms(),
+        _bench_pressure_scratch(),
+        _bench_simulate(),
+        _bench_sweep_micro(),
+    ]
+
+
+def calibration_spin() -> float:
+    """Seconds for a fixed pure-Python workload (host-speed yardstick)."""
+    best = float("inf")
+    for _ in range(3):
+        t0 = time.perf_counter()
+        acc = 0
+        for i in range(200_000):
+            acc = (acc + i * i) % 1_000_003
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+# ----------------------------------------------------------------------
+# Running and recording
+# ----------------------------------------------------------------------
+@dataclass
+class BenchResult:
+    """Timings of one benchmark across repeats."""
+
+    name: str
+    description: str
+    runs: list[float]
+    calls: int
+
+    @property
+    def best_s(self) -> float:
+        return min(self.runs)
+
+    @property
+    def mean_s(self) -> float:
+        return sum(self.runs) / len(self.runs)
+
+    def to_dict(self) -> dict:
+        return {
+            "description": self.description,
+            "best_s": self.best_s,
+            "mean_s": self.mean_s,
+            "runs": self.runs,
+            "calls": self.calls,
+        }
+
+
+@dataclass
+class BenchReport:
+    """All results of one harness invocation plus environment metadata."""
+
+    results: list[BenchResult]
+    quick: bool
+    repeats: int
+    calibration_s: float
+    baseline: dict | None = None
+    baseline_source: str | None = None
+    created_unix: float = field(default_factory=time.time)
+
+    def to_dict(self) -> dict:
+        from .runner.cache import default_code_version
+
+        doc = {
+            "format": BENCH_FORMAT,
+            "created_unix": self.created_unix,
+            "code_version": default_code_version(),
+            "python": sys.version.split()[0],
+            "platform": platform.platform(),
+            "quick": self.quick,
+            "repeats": self.repeats,
+            "calibration_s": self.calibration_s,
+            "results": {r.name: r.to_dict() for r in self.results},
+        }
+        if self.baseline is not None:
+            doc["baseline"] = {
+                "source": self.baseline_source,
+                "code_version": self.baseline.get("code_version"),
+                "created_unix": self.baseline.get("created_unix"),
+                "calibration_s": self.baseline.get("calibration_s"),
+                "results": {
+                    name: {"best_s": entry.get("best_s"), "mean_s": entry.get("mean_s")}
+                    for name, entry in self.baseline.get("results", {}).items()
+                },
+            }
+        return doc
+
+    # ------------------------------------------------------------------
+    def render(self) -> str:
+        """Human-readable table, with speedups when a baseline is loaded."""
+        base = (self.baseline or {}).get("results", {})
+        header = f"{'benchmark':<22} {'best':>10} {'mean':>10} {'calls':>6}"
+        if base:
+            header += f" {'baseline':>10} {'speedup':>8}"
+        lines = [header, "-" * len(header)]
+        for r in self.results:
+            line = (
+                f"{r.name:<22} {r.best_s * 1e3:>8.1f}ms {r.mean_s * 1e3:>8.1f}ms"
+                f" {r.calls:>6}"
+            )
+            if base:
+                before = base.get(r.name, {}).get("best_s")
+                if before:
+                    line += f" {before * 1e3:>8.1f}ms {before / r.best_s:>7.2f}x"
+                else:
+                    line += f" {'-':>10} {'-':>8}"
+            lines.append(line)
+        return "\n".join(lines)
+
+
+def run_benchmarks(
+    *,
+    quick: bool = False,
+    repeats: int | None = None,
+    only: str | None = None,
+    baseline: dict | None = None,
+    baseline_source: str | None = None,
+    progress: Callable[[str], None] | None = None,
+) -> BenchReport:
+    """Execute the registry and return the report.
+
+    ``only`` filters benchmarks by substring; ``baseline`` (a previously
+    recorded document) is embedded for before/after reporting.
+    """
+    if repeats is None:
+        repeats = 2 if quick else 5
+    calibration_before = calibration_spin()
+    results: list[BenchResult] = []
+    for bench in all_benchmarks():
+        if only and only not in bench.name:
+            continue
+        if quick and bench.heavy:
+            continue
+        if progress:
+            progress(f"{bench.name}: preparing")
+        run, calls = bench.prepare()
+        run()  # warm-up: fills caches (bytecode, allocator) outside timing
+        runs = []
+        gc.collect()  # start from a clean heap; prior benchmarks' garbage
+        gc_was_enabled = gc.isenabled()
+        gc.disable()  # ... and no collector pauses inside the timed region
+        try:
+            for _ in range(repeats):
+                t0 = time.perf_counter()
+                run()
+                runs.append(time.perf_counter() - t0)
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+        results.append(BenchResult(bench.name, bench.description, runs, calls))
+        if progress:
+            progress(f"{bench.name}: best {min(runs) * 1e3:.1f}ms over {repeats} runs")
+    # Sample the host yardstick before AND after the benchmarks and keep
+    # the slower spin: burstable/shared CPUs throttle *during* a
+    # sustained run, and a start-only sample would under-scale the
+    # baseline in --compare and fail the gate on unchanged code.
+    calibration_s = max(calibration_before, calibration_spin())
+    return BenchReport(
+        results=results,
+        quick=quick,
+        repeats=repeats,
+        calibration_s=calibration_s,
+        baseline=baseline,
+        baseline_source=baseline_source,
+    )
+
+
+# ----------------------------------------------------------------------
+# BENCH_<n>.json management
+# ----------------------------------------------------------------------
+def existing_bench_files(directory: Path) -> list[tuple[int, Path]]:
+    """(index, path) of every ``BENCH_<n>.json`` in *directory*, sorted."""
+    found = []
+    if directory.is_dir():
+        for path in directory.iterdir():
+            m = _BENCH_NAME.match(path.name)
+            if m:
+                found.append((int(m.group(1)), path))
+    return sorted(found)
+
+
+def next_bench_path(directory: Path) -> Path:
+    """Where ``--record`` writes: the next free ``BENCH_<n>.json``."""
+    files = existing_bench_files(directory)
+    n = files[-1][0] + 1 if files else 1
+    return directory / f"BENCH_{n}.json"
+
+
+def latest_bench_path(directory: Path) -> Path | None:
+    """The highest-numbered ``BENCH_<n>.json``, or None."""
+    files = existing_bench_files(directory)
+    return files[-1][1] if files else None
+
+
+def load_bench(path: Path) -> dict:
+    """Load and minimally validate a recorded benchmark document."""
+    doc = json.loads(path.read_text())
+    if not isinstance(doc, dict) or "results" not in doc:
+        raise ValueError(f"{path}: not a benchmark document")
+    return doc
+
+
+def write_bench(report: BenchReport, path: Path) -> Path:
+    path.write_text(json.dumps(report.to_dict(), indent=2, sort_keys=True) + "\n")
+    return path
+
+
+# ----------------------------------------------------------------------
+# Regression gate
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Regression:
+    """One benchmark that got slower than the gate allows."""
+
+    name: str
+    baseline_s: float
+    current_s: float
+
+    @property
+    def slowdown(self) -> float:
+        return self.current_s / self.baseline_s
+
+
+def find_regressions(
+    report: BenchReport, baseline: dict, threshold: float = DEFAULT_THRESHOLD
+) -> list[Regression]:
+    """Benchmarks slower than ``baseline`` by more than ``threshold``.
+
+    Baseline times are rescaled by the calibration ratio when both
+    documents carry one, so a baseline recorded on different hardware
+    still gates meaningfully.  Benchmarks present on only one side are
+    skipped (renames and new benchmarks must not fail the gate).
+    """
+    out = []
+    base = baseline.get("results", {})
+    scale = 1.0
+    base_cal = baseline.get("calibration_s")
+    if base_cal and report.calibration_s:
+        scale = report.calibration_s / base_cal
+    for r in report.results:
+        before = base.get(r.name, {}).get("best_s")
+        if not before:
+            continue
+        adjusted = before * scale
+        if r.best_s > adjusted * (1.0 + threshold):
+            out.append(Regression(r.name, adjusted, r.best_s))
+    return out

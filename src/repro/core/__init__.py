@@ -1,13 +1,14 @@
 """Modulo scheduling core: MII, SMS, BSA, two-phase, selective unrolling."""
 
 from .base import SchedulerBase, default_ii_budget
-from .bsa import BsaScheduler, cluster_out_edges, out_edges_if_joined
+from .bsa import BsaScheduler, cluster_out_edges, join_profit, out_edges_if_joined
 from .comm import AddReader, CommPlan, NewTransfer
 from .engine import FailReason, Placement, PlacementEngine
 from .lifetimes import cluster_pressures, max_pressure, mve_factor, pressure_ok
 from .list_schedule import list_schedule
 from .mii import MiiReport, mii, mii_report, rec_mii, rec_mii_exact, res_mii
 from .mrt import ReservationTable
+from .pressure import PressureTracker
 from .schedule import Communication, FailureLog, ModuloSchedule, ScheduledOp
 from .selective import (
     ScheduledLoopResult,
@@ -41,6 +42,7 @@ __all__ = [
     "NodeTiming",
     "Placement",
     "PlacementEngine",
+    "PressureTracker",
     "ReservationTable",
     "ScheduledLoopResult",
     "ScheduledOp",
@@ -51,6 +53,7 @@ __all__ = [
     "UnrollPolicy",
     "cluster_out_edges",
     "cluster_pressures",
+    "join_profit",
     "list_schedule",
     "mve_factor",
     "compute_timings",

@@ -27,8 +27,8 @@ from ..arch.cluster import MachineConfig
 from ..errors import SchedulingError
 from ..ir.ddg import DependenceGraph
 from .comm import AddReader, CommPlan, NewTransfer, empty_plan
-from .lifetimes import cluster_pressures
 from .mrt import ReservationTable
+from .pressure import PressureTracker
 from .schedule import Communication, FailureLog, ModuloSchedule, ScheduledOp
 from .sms import compute_timings
 
@@ -80,10 +80,41 @@ class PlacementEngine:
         self.fail = FailureLog()
         self._timings = compute_timings(graph, ii)
         self._bus_latency = config.buses.latency
+        self._pressure = PressureTracker(self.schedule)
+        #: node -> (scheduled preds, scheduled succs), the dependence
+        #: window inputs; entries are dropped for a committed node's
+        #: neighbourhood (a commit is the only event that changes them).
+        self._nbr_cache: dict[int, tuple[list, list]] = {}
 
     # ------------------------------------------------------------------
     # Dependence windows
     # ------------------------------------------------------------------
+    def _scheduled_neighbors(self, node: int) -> tuple[list, list]:
+        """Cached (scheduled predecessor deps, scheduled successor deps).
+
+        The window and communication plans of a node only depend on its
+        *scheduled* neighbours; the set changes exactly when a neighbour
+        commits, which is when :meth:`commit` invalidates the entry.  The
+        cache turns the per-cluster window/plan scans (one per cluster
+        tried) into a single dependence walk per placement round.
+        """
+        entry = self._nbr_cache.get(node)
+        if entry is None:
+            sched = self.schedule
+            preds = [
+                d
+                for d in self.graph.predecessors(node)
+                if d.src != node and sched.is_scheduled(d.src)
+            ]
+            succs = [
+                d
+                for d in self.graph.successors(node)
+                if d.dst != node and sched.is_scheduled(d.dst)
+            ]
+            entry = (preds, succs)
+            self._nbr_cache[node] = entry
+        return entry
+
     def window(self, node: int, cluster: int) -> tuple[int | None, int | None]:
         """(early, late) bounds from scheduled neighbours; None = unbounded.
 
@@ -94,22 +125,20 @@ class PlacementEngine:
         sched = self.schedule
         early: int | None = None
         late: int | None = None
-        for dep in self.graph.predecessors(node):
-            if dep.src == node or not sched.is_scheduled(dep.src):
-                continue
+        preds, succs = self._scheduled_neighbors(node)
+        for dep in preds:
             placed = sched.ops[dep.src]
             bound = placed.cycle + dep.latency - self.ii * dep.distance
             if dep.moves_value and placed.cluster != cluster:
                 ready = placed.cycle + self.graph.operation(dep.src).latency
-                arrivals = [
-                    c.arrival(self._bus_latency) for c in sched.comms_for(dep.src)
-                ]
-                arrivals.append(ready + self._bus_latency)  # a fresh transfer
-                bound = max(bound, min(arrivals) - self.ii * dep.distance)
+                arrival = ready + self._bus_latency  # a fresh transfer
+                for c in sched.comms_for(dep.src):
+                    a = c.start_cycle + self._bus_latency
+                    if a < arrival:
+                        arrival = a
+                bound = max(bound, arrival - self.ii * dep.distance)
             early = bound if early is None else max(early, bound)
-        for dep in self.graph.successors(node):
-            if dep.dst == node or not sched.is_scheduled(dep.dst):
-                continue
+        for dep in succs:
             placed = sched.ops[dep.dst]
             bound = placed.cycle + self.ii * dep.distance - dep.latency
             if dep.moves_value and placed.cluster != cluster:
@@ -165,22 +194,14 @@ class PlacementEngine:
         """A free bus for a transfer at *start_cycle*, also avoiding *pending*."""
         if self.config.buses.count == 0 or self._bus_latency > self.ii:
             return None
-        rows = set(self.mrt.bus_rows(start_cycle))
-        for bus in range(self.config.buses.count):
-            if any(
-                self.mrt._bus.cells[r][bus] is not None for r in rows
-            ):
-                continue
-            clash = False
+        mrt = self.mrt
+        pending_mask = 0
+        if pending:
+            rows = mrt.bus_rows_mask(start_cycle)
             for t in pending:
-                if t.bus != bus:
-                    continue
-                if rows & set(self.mrt.bus_rows(t.start_cycle)):
-                    clash = True
-                    break
-            if not clash:
-                return bus
-        return None
+                if rows & mrt.bus_rows_mask(t.start_cycle):
+                    pending_mask |= 1 << t.bus
+        return mrt.bus_free(start_cycle, pending_mask)
 
     def _plan_transfer(
         self,
@@ -246,10 +267,9 @@ class PlacementEngine:
         """All bus actions needed to place *node* at (*cluster*, *cycle*)."""
         sched = self.schedule
         plan = empty_plan()
-        for dep in self.graph.predecessors(node):
-            if dep.src == node or not dep.moves_value:
-                continue
-            if not sched.is_scheduled(dep.src):
+        preds, succs = self._scheduled_neighbors(node)
+        for dep in preds:
+            if not dep.moves_value:
                 continue
             placed = sched.ops[dep.src]
             if placed.cluster == cluster:
@@ -260,10 +280,8 @@ class PlacementEngine:
                 dep.src, placed.cluster, cluster, ready, deadline, plan
             ):
                 return None
-        for dep in self.graph.successors(node):
-            if dep.dst == node or not dep.moves_value:
-                continue
-            if not sched.is_scheduled(dep.dst):
+        for dep in succs:
+            if not dep.moves_value:
                 continue
             placed = sched.ops[dep.dst]
             if placed.cluster == cluster:
@@ -299,8 +317,10 @@ class PlacementEngine:
             return FailReason.WINDOW
 
         worst = FailReason.WINDOW
+        grid = self.mrt.fu_grid(cluster, op.fu_class)
+        masks, full, ii = grid.masks, grid.full, self.ii
         for cycle in candidates:
-            if not self.mrt.fu_slot_free(cluster, op.fu_class, cycle):
+            if masks[cycle % ii] == full:  # no free functional unit
                 self.fail.no_fu += 1
                 worst = _worse(worst, FailReason.NO_FU)
                 continue
@@ -319,28 +339,13 @@ class PlacementEngine:
     def _pressure_ok(
         self, node: int, cluster: int, cycle: int, plan: CommPlan
     ) -> bool:
-        sched = self.schedule
-        sched.ops[node] = ScheduledOp(node, cycle, cluster, fu_index=-1)
-        try:
-            pressures = cluster_pressures(sched, extra_comms=plan.pressure_comms())
-        finally:
-            del sched.ops[node]
-        limit = self.config.regs_per_cluster
-        return all(p <= limit for p in pressures.values())
+        return self._pressure.placement_fits(node, cluster, cycle, plan)
 
     def placement_pressure(self, placement: Placement) -> int:
         """MaxLive of the placement's cluster if it were committed."""
-        sched = self.schedule
-        sched.ops[placement.node] = ScheduledOp(
-            placement.node, placement.cycle, placement.cluster, fu_index=-1
+        return self._pressure.placement_pressure(
+            placement.node, placement.cluster, placement.cycle, placement.comm_plan
         )
-        try:
-            pressures = cluster_pressures(
-                sched, extra_comms=placement.comm_plan.pressure_comms()
-            )
-        finally:
-            del sched.ops[placement.node]
-        return pressures[placement.cluster]
 
     # ------------------------------------------------------------------
     # Commit
@@ -360,14 +365,20 @@ class PlacementEngine:
         for a in placement.comm_plan.added_readers:
             target = self._find_comm(a.existing)
             self.schedule.replace_comm(target, target.with_reader(a.reader))
+        self._pressure.commit(
+            placement.node, placement.cluster, placement.comm_plan
+        )
+        # The committed node is a newly *scheduled* neighbour of its
+        # adjacency — exactly the entries whose cached window inputs
+        # changed.  (Comms do not invalidate: windows read them live.)
+        cache = self._nbr_cache
+        cache.pop(placement.node, None)
+        for other in self.graph.neighbors(placement.node):
+            cache.pop(other, None)
 
     def _find_comm(self, like: Communication) -> Communication:
-        for comm in self.schedule.comms:
-            if (
-                comm.producer == like.producer
-                and comm.bus == like.bus
-                and comm.start_cycle == like.start_cycle
-            ):
+        for comm in self.schedule.comms_for(like.producer):
+            if comm.bus == like.bus and comm.start_cycle == like.start_cycle:
                 return comm
         raise SchedulingError(f"planned reuse of unknown communication {like}")
 
@@ -394,6 +405,7 @@ class PlacementEngine:
                 )
                 for c in sched.comms
             ]
+            sched._rebuild_comm_index()
         sched.bus_utilisation = self.mrt.bus_utilisation()
         return sched
 

@@ -75,15 +75,18 @@ def _intervals(
         arrival = comm.start_cycle + bus_latency
         consumers = graph.flow_consumers(comm.producer)
         for reader_cluster in comm.readers:
-            last_late_read = -1
+            # None sentinel, not -1: partial schedules legally contain
+            # negative cycles (backward scans, see engine.py), so a late
+            # read at a negative cycle is still a late read.
+            last_late_read: int | None = None
             for dep in consumers:
                 consumer = ops.get(dep.dst)
                 if consumer is None or consumer.cluster != reader_cluster:
                     continue
                 read = consumer.cycle + ii * dep.distance
-                if read > arrival and read > last_late_read:
+                if read > arrival and (last_late_read is None or read > last_late_read):
                     last_late_read = read
-            if last_late_read >= 0:
+            if last_late_read is not None:
                 out.append((reader_cluster, arrival, last_late_read + 1))
     return out
 

@@ -80,7 +80,14 @@ def _has_positive_cycle(graph: DependenceGraph, ii: int) -> bool:
 
 
 def rec_mii(graph: DependenceGraph) -> int:
-    """Recurrence-constrained minimum II (1 when the graph is acyclic)."""
+    """Recurrence-constrained minimum II (1 when the graph is acyclic).
+
+    Memoised per graph: a pure graph property, recomputed by orderings,
+    partitioners and the II search alike."""
+    return graph.derived("rec_mii", lambda: _rec_mii(graph))
+
+
+def _rec_mii(graph: DependenceGraph) -> int:
     if len(graph) == 0:
         return 1
     # Upper bound: total latency of all edges certainly stops any cycle.

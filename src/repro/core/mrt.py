@@ -8,6 +8,11 @@ An MRT has II rows; resource usage at absolute cycle *t* occupies row
 * one table for the buses, with one column per bus; a communication
   occupies ``latbus`` *consecutive* rows on one bus (the bus is busy for
   the entire communication latency, Section 3).
+
+Occupancy is stored twice: a per-row *bitmask* (bit ``c`` set = column
+``c`` occupied) that makes the hot-path queries ``fu_slot_free`` /
+``bus_free`` O(1) mask tests, and an owner map used only for release
+checking and diagnostics (``fu_owner``, conflict messages).
 """
 
 from __future__ import annotations
@@ -21,31 +26,43 @@ from ..ir.operation import FuClass
 
 @dataclass
 class _Grid:
-    """A small II x columns occupancy grid storing owner ids (or None)."""
+    """A small II x columns occupancy grid: row bitmasks + owner map."""
 
     rows: int
     cols: int
     cells: list[list[object | None]] = field(init=False)
+    masks: list[int] = field(init=False)
+    full: int = field(init=False)
 
     def __post_init__(self) -> None:
         self.cells = [[None] * self.cols for _ in range(self.rows)]
+        self.masks = [0] * self.rows
+        self.full = (1 << self.cols) - 1
 
     def free_col(self, row: int, want: int = 1) -> list[int]:
         """Columns free at *row* (up to *want* of them)."""
         out = []
-        for c in range(self.cols):
-            if self.cells[row][c] is None:
-                out.append(c)
-                if len(out) == want:
-                    break
+        free = ~self.masks[row] & self.full
+        while free and len(out) < want:
+            low = free & -free
+            out.append(low.bit_length() - 1)
+            free ^= low
         return out
 
+    def first_free_col(self, row: int) -> int | None:
+        """The lowest free column at *row* (the O(1) hot-path query)."""
+        free = ~self.masks[row] & self.full
+        if not free:
+            return None
+        return (free & -free).bit_length() - 1
+
     def occupy(self, row: int, col: int, owner: object) -> None:
-        if self.cells[row][col] is not None:
+        if self.masks[row] & (1 << col):
             raise SchedulingError(
                 f"MRT conflict: row {row} col {col} already owned by "
                 f"{self.cells[row][col]!r}"
             )
+        self.masks[row] |= 1 << col
         self.cells[row][col] = owner
 
     def release(self, row: int, col: int, owner: object) -> None:
@@ -54,12 +71,13 @@ class _Grid:
                 f"MRT release mismatch at row {row} col {col}: "
                 f"{self.cells[row][col]!r} != {owner!r}"
             )
+        self.masks[row] &= ~(1 << col)
         self.cells[row][col] = None
 
     def utilisation(self) -> float:
         if self.rows * self.cols == 0:
             return 0.0
-        used = sum(1 for row in self.cells for cell in row if cell is not None)
+        used = sum(mask.bit_count() for mask in self.masks)
         return used / (self.rows * self.cols)
 
 
@@ -77,11 +95,25 @@ class ReservationTable:
                 count = config.fu_count(cluster, fu_class)
                 self._fu[(cluster, fu_class)] = _Grid(ii, count)
         self._bus = _Grid(ii, config.buses.count)
+        # A transfer starting at row r occupies latbus consecutive rows;
+        # both the row lists and their row-set bitmasks repeat modulo II,
+        # so precompute them once per start row.
+        lat = min(config.buses.latency, ii)
+        self._bus_rows: list[list[int]] = [
+            [(r + k) % ii for k in range(lat)] for r in range(ii)
+        ]
+        self._bus_row_masks: list[int] = [
+            sum(1 << row for row in set(rows)) for rows in self._bus_rows
+        ]
 
     # -- functional units -------------------------------------------------
+    def fu_grid(self, cluster: int, fu_class: FuClass) -> _Grid:
+        """The (cluster, class) grid — lets hot loops hoist the lookup."""
+        return self._fu[(cluster, fu_class)]
+
     def fu_slot_free(self, cluster: int, fu_class: FuClass, cycle: int) -> bool:
         grid = self._fu[(cluster, fu_class)]
-        return bool(grid.free_col(cycle % self.ii))
+        return grid.masks[cycle % self.ii] != grid.full
 
     def occupy_fu(
         self, cluster: int, fu_class: FuClass, cycle: int, owner: object
@@ -89,13 +121,13 @@ class ReservationTable:
         """Claim a free unit; returns the unit index."""
         grid = self._fu[(cluster, fu_class)]
         row = cycle % self.ii
-        free = grid.free_col(row)
-        if not free:
+        col = grid.first_free_col(row)
+        if col is None:
             raise SchedulingError(
                 f"no free {fu_class} unit in cluster {cluster} at row {row}"
             )
-        grid.occupy(row, free[0], owner)
-        return free[0]
+        grid.occupy(row, col, owner)
+        return col
 
     def release_fu(
         self, cluster: int, fu_class: FuClass, cycle: int, unit: int, owner: object
@@ -111,24 +143,38 @@ class ReservationTable:
     def bus_rows(self, start_cycle: int) -> list[int]:
         """The MRT rows a communication starting at *start_cycle* occupies."""
         lat = self.config.buses.latency
+        if lat <= self.ii:
+            return self._bus_rows[start_cycle % self.ii]
         return [(start_cycle + k) % self.ii for k in range(lat)]
 
-    def bus_free(self, start_cycle: int) -> int | None:
+    def bus_rows_mask(self, start_cycle: int) -> int:
+        """Bitmask over MRT rows of :meth:`bus_rows` (hot-path overlap test)."""
+        return self._bus_row_masks[start_cycle % self.ii]
+
+    def bus_occupancy(self, start_cycle: int) -> int:
+        """Buses busy during some row of a transfer at *start_cycle*."""
+        masks = self._bus.masks
+        combined = 0
+        for r in self._bus_rows[start_cycle % self.ii]:
+            combined |= masks[r]
+        return combined
+
+    def bus_free(self, start_cycle: int, busy_mask: int = 0) -> int | None:
         """A bus free for a transfer starting at *start_cycle*, else None.
 
         A transfer needs ``latbus`` consecutive rows on the *same* bus.  A
         transfer longer than II would collide with its own next-iteration
-        instance, so it can never fit.
+        instance, so it can never fit.  ``busy_mask`` marks extra buses to
+        treat as occupied (pending transfers of the same placement plan).
         """
         if self.config.buses.count == 0:
             return None
         if self.config.buses.latency > self.ii:
             return None
-        rows = self.bus_rows(start_cycle)
-        for bus in range(self.config.buses.count):
-            if all(self._bus.cells[r][bus] is None for r in rows):
-                return bus
-        return None
+        free = ~(self.bus_occupancy(start_cycle) | busy_mask) & self._bus.full
+        if not free:
+            return None
+        return (free & -free).bit_length() - 1
 
     def occupy_bus(self, start_cycle: int, bus: int, owner: object) -> None:
         for r in self.bus_rows(start_cycle):
@@ -147,5 +193,5 @@ class ReservationTable:
         cells = used = 0
         for grid in self._fu.values():
             cells += grid.rows * grid.cols
-            used += sum(1 for row in grid.cells for c in row if c is not None)
+            used += sum(mask.bit_count() for mask in grid.masks)
         return used / cells if cells else 0.0

@@ -1,0 +1,324 @@
+"""Incremental register-pressure (MaxLive) tracking for placement search.
+
+:func:`repro.core.lifetimes.cluster_pressures` rebuilds every live range
+of the schedule from scratch; placement engines used to call it once per
+*candidate cycle*, making it the hottest path in the package.  This module
+maintains the same model incrementally on the live
+:class:`~repro.core.schedule.ModuloSchedule`:
+
+* the per-cluster pressure histogram (one counter per MRT row, plus a
+  scalar for whole-II wraps) is kept up to date as placements commit;
+* a tentative placement is evaluated as a *delta*: only the intervals the
+  new node can affect — its own produced value, same-cluster producers it
+  reads, and the communications its plan would add — are recomputed and
+  overlaid on the committed histogram;
+* committing a placement re-derives exactly those intervals and folds the
+  difference into the histogram.
+
+The interval semantics are identical to ``lifetimes._intervals`` (the two
+are cross-checked by a property test after every commit); pressures are
+therefore *exactly* equal to a from-scratch recomputation, not an
+approximation — schedules are byte-identical with and without tracking.
+
+The unit of bookkeeping is an *entry*: either the produced-value interval
+of one node (``("p", node)``) or the stored-incoming-value interval of
+one (communication, reader cluster) pair (``("i", (producer, bus, start),
+reader)``).  A placement changes a small, statically enumerable set of
+entries (:meth:`PressureTracker._changed_entries`), which is what makes
+the delta evaluation sound:
+
+* a produced interval ends at the last same-cluster read or communication
+  start of that value — only a new same-cluster consumer or a new
+  transfer of the value can move it;
+* an incoming interval ends at the last late read in the reader cluster —
+  only a new consumer in that cluster (or a brand-new transfer/reader)
+  can move it;
+* remote consumers never touch a producer interval (they read the
+  communicated copy), so placements in other clusters are unaffected.
+"""
+
+from __future__ import annotations
+
+from .comm import CommPlan, empty_plan
+from .schedule import ModuloSchedule, ScheduledOp
+
+#: An interval: (cluster, start, end) with end exclusive, end > start.
+Interval = tuple[int, int, int]
+
+
+class PressureTracker:
+    """Exact incremental MaxLive per cluster for one live schedule."""
+
+    def __init__(self, schedule: ModuloSchedule):
+        self.schedule = schedule
+        self.graph = schedule.graph
+        self.ii = schedule.ii
+        self.n_clusters = schedule.config.n_clusters
+        self._bus_latency = schedule.config.buses.latency
+        self._limit = schedule.config.regs_per_cluster
+        #: Remainder histogram per cluster (one counter per MRT row).
+        self._hist: list[list[int]] = [
+            [0] * self.ii for _ in range(self.n_clusters)
+        ]
+        #: Whole-II wraps per cluster (cover every row uniformly).
+        self._base: list[int] = [0] * self.n_clusters
+        self._max: list[int] = [0] * self.n_clusters
+        self._dirty: list[bool] = [False] * self.n_clusters
+        self._entries: dict[tuple, Interval] = {}
+        if schedule.ops or schedule.comms:
+            self.rebuild()
+
+    # ------------------------------------------------------------------
+    # Entry recomputation (must mirror lifetimes._intervals exactly)
+    # ------------------------------------------------------------------
+    def _producer_interval(
+        self, node: int, extra_starts: tuple[int, ...] | list[int] = ()
+    ) -> Interval | None:
+        """The produced-value live range of *node*, or None."""
+        ops = self.schedule.ops
+        placed = ops.get(node)
+        if placed is None:
+            return None
+        op = self.graph.operation(node)
+        if not op.writes_register:
+            return None
+        ii = self.ii
+        written = placed.cycle + op.latency
+        last_read = written  # the write occupies the register >= 1 cycle
+        for dep in self.graph.flow_consumers(node):
+            consumer = ops.get(dep.dst)
+            if consumer is None or consumer.cluster != placed.cluster:
+                continue  # remote consumers read the communicated copy
+            read = consumer.cycle + ii * dep.distance
+            if read > last_read:
+                last_read = read
+        for comm in self.schedule.comms_for(node):
+            if comm.start_cycle > last_read:
+                last_read = comm.start_cycle
+        for start in extra_starts:
+            if start > last_read:
+                last_read = start
+        return (placed.cluster, written, last_read + 1)
+
+    def _incoming_interval(
+        self, producer: int, start_cycle: int, reader: int
+    ) -> Interval | None:
+        """The stored-incoming-value range in *reader*'s file, or None."""
+        ops = self.schedule.ops
+        ii = self.ii
+        arrival = start_cycle + self._bus_latency
+        last_late_read: int | None = None
+        for dep in self.graph.flow_consumers(producer):
+            consumer = ops.get(dep.dst)
+            if consumer is None or consumer.cluster != reader:
+                continue
+            read = consumer.cycle + ii * dep.distance
+            if read > arrival and (last_late_read is None or read > last_late_read):
+                last_late_read = read
+        if last_late_read is None:
+            return None  # bypassed: every read happens at arrival
+        return (reader, arrival, last_late_read + 1)
+
+    # ------------------------------------------------------------------
+    # Histogram maintenance
+    # ------------------------------------------------------------------
+    def _apply(self, interval: Interval, sign: int) -> None:
+        cluster, start, end = interval
+        ii = self.ii
+        fulls, rem = divmod(end - start, ii)
+        self._base[cluster] += sign * fulls
+        if rem:
+            hist = self._hist[cluster]
+            row = start % ii
+            for _ in range(rem):
+                hist[row] += sign
+                row += 1
+                if row == ii:
+                    row = 0
+        self._dirty[cluster] = True
+
+    def _set(self, key: tuple, interval: Interval | None) -> None:
+        old = self._entries.get(key)
+        if old == interval:
+            return
+        if old is not None:
+            self._apply(old, -1)
+        if interval is not None:
+            self._apply(interval, +1)
+            self._entries[key] = interval
+        else:
+            del self._entries[key]
+
+    def cluster_max(self, cluster: int) -> int:
+        """Committed MaxLive of *cluster* (cached between commits)."""
+        if self._dirty[cluster]:
+            self._max[cluster] = self._base[cluster] + max(self._hist[cluster])
+            self._dirty[cluster] = False
+        return self._max[cluster]
+
+    def pressures(self) -> dict[int, int]:
+        """Committed MaxLive for every cluster (== ``cluster_pressures``)."""
+        return {c: self.cluster_max(c) for c in range(self.n_clusters)}
+
+    # ------------------------------------------------------------------
+    # The affected-entry set of one placement
+    # ------------------------------------------------------------------
+    def _changed_entries(
+        self, node: int, cluster: int, plan: CommPlan
+    ) -> dict[tuple, Interval | None]:
+        """Recompute every entry the placement can affect.
+
+        Must be called with *node* present in ``schedule.ops``; plan
+        transfers are overlaid (they are not committed yet).
+        """
+        graph = self.graph
+        ops = self.schedule.ops
+        extra_starts: dict[int, list[int]] = {}
+        for t in plan.new_transfers:
+            extra_starts.setdefault(t.producer, []).append(t.start_cycle)
+        # Added readers reuse an existing (or same-plan) transfer: its
+        # start cycle already bounds the producer interval, so they add
+        # no extra start.
+
+        changed: dict[tuple, Interval | None] = {}
+        producers = {node}
+        for dep in graph.flow_producers(node):
+            placed = ops.get(dep.src)
+            if placed is not None and placed.cluster == cluster:
+                producers.add(dep.src)
+        producers.update(extra_starts)
+        for u in producers:
+            changed[("p", u)] = self._producer_interval(
+                u, extra_starts.get(u, ())
+            )
+        # Incoming values this node reads late in its cluster: committed
+        # transfers of its producers that already deliver to `cluster`.
+        for dep in graph.flow_producers(node):
+            for comm in self.schedule.comms_for(dep.src):
+                if cluster in comm.readers:
+                    key = ("i", (comm.producer, comm.bus, comm.start_cycle), cluster)
+                    changed[key] = self._incoming_interval(
+                        comm.producer, comm.start_cycle, cluster
+                    )
+        # Transfers the plan would create, and readers it would add.
+        for t in plan.new_transfers:
+            key = ("i", (t.producer, t.bus, t.start_cycle), t.reader)
+            changed[key] = self._incoming_interval(t.producer, t.start_cycle, t.reader)
+        for a in plan.added_readers:
+            e = a.existing
+            key = ("i", (e.producer, e.bus, e.start_cycle), a.reader)
+            changed[key] = self._incoming_interval(e.producer, e.start_cycle, a.reader)
+        return changed
+
+    # ------------------------------------------------------------------
+    # Tentative evaluation
+    # ------------------------------------------------------------------
+    def probe(self, node: int, cluster: int, cycle: int, plan: CommPlan) -> dict[int, int]:
+        """MaxLive of every cluster a tentative placement would touch.
+
+        Returns ``{cluster: pressure}`` for *affected* clusters only;
+        untouched clusters keep :meth:`cluster_max`.
+        """
+        ops = self.schedule.ops
+        ops[node] = ScheduledOp(node, cycle, cluster, fu_index=-1)
+        try:
+            changed = self._changed_entries(node, cluster, plan)
+        finally:
+            del ops[node]
+
+        deltas: dict[int, list[tuple[int, int, int]]] = {}
+        for key, new_iv in changed.items():
+            old_iv = self._entries.get(key)
+            if old_iv == new_iv:
+                continue
+            if old_iv is not None:
+                deltas.setdefault(old_iv[0], []).append((old_iv[1], old_iv[2], -1))
+            if new_iv is not None:
+                deltas.setdefault(new_iv[0], []).append((new_iv[1], new_iv[2], +1))
+
+        ii = self.ii
+        result: dict[int, int] = {}
+        for c, intervals in deltas.items():
+            base = self._base[c]
+            diff = [0] * ii
+            for start, end, sign in intervals:
+                fulls, rem = divmod(end - start, ii)
+                base += sign * fulls
+                row = start % ii
+                for _ in range(rem):
+                    diff[row] += sign
+                    row += 1
+                    if row == ii:
+                        row = 0
+            hist = self._hist[c]
+            result[c] = base + max(
+                h + d for h, d in zip(hist, diff)
+            )
+        return result
+
+    def placement_fits(self, node: int, cluster: int, cycle: int, plan: CommPlan) -> bool:
+        """Would every cluster still fit its register file?"""
+        limit = self._limit
+        touched = self.probe(node, cluster, cycle, plan)
+        for pressure in touched.values():
+            if pressure > limit:
+                return False
+        for c in range(self.n_clusters):
+            if c not in touched and self.cluster_max(c) > limit:
+                return False
+        return True
+
+    def placement_pressure(self, node: int, cluster: int, cycle: int, plan: CommPlan) -> int:
+        """MaxLive of *cluster* if the placement were committed."""
+        touched = self.probe(node, cluster, cycle, plan)
+        return touched.get(cluster, self.cluster_max(cluster))
+
+    # ------------------------------------------------------------------
+    # Commit
+    # ------------------------------------------------------------------
+    def commit(self, node: int, cluster: int, plan: CommPlan) -> None:
+        """Fold a just-committed placement into the histograms.
+
+        Call *after* the engine has placed the node and registered the
+        plan's communications on the schedule (the recomputation reads
+        the committed state, so plan overlays are no longer needed).
+        """
+        changed = self._changed_entries(node, cluster, empty_plan())
+        # _changed_entries overlays nothing here, but must still visit the
+        # plan's entries — enumerate them from the committed comms.
+        for t in plan.new_transfers:
+            changed[("p", t.producer)] = self._producer_interval(t.producer)
+            key = ("i", (t.producer, t.bus, t.start_cycle), t.reader)
+            changed[key] = self._incoming_interval(t.producer, t.start_cycle, t.reader)
+        for a in plan.added_readers:
+            e = a.existing
+            key = ("i", (e.producer, e.bus, e.start_cycle), a.reader)
+            changed[key] = self._incoming_interval(e.producer, e.start_cycle, a.reader)
+        for key, interval in changed.items():
+            self._set(key, interval)
+
+    # ------------------------------------------------------------------
+    # Full rebuild (initialisation and the backtrack escape hatch)
+    # ------------------------------------------------------------------
+    def rebuild(self) -> None:
+        """Re-derive every entry from the schedule (O(schedule) fallback).
+
+        Engines start from empty schedules and commit monotonically; a
+        scheduler that *removes* placements (backtracking) must call this
+        after mutating the schedule — per-entry invalidation of a removal
+        is not supported.
+        """
+        for c in range(self.n_clusters):
+            self._hist[c] = [0] * self.ii
+            self._base[c] = 0
+            self._dirty[c] = True
+        self._entries = {}
+        sched = self.schedule
+        for node in sched.ops:
+            self._set(("p", node), self._producer_interval(node))
+        for comm in sched.comms:
+            for reader in comm.readers:
+                key = ("i", (comm.producer, comm.bus, comm.start_cycle), reader)
+                self._set(
+                    key, self._incoming_interval(comm.producer, comm.start_cycle, reader)
+                )

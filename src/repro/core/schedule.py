@@ -106,6 +106,10 @@ class ModuloSchedule:
         self.mii = mii if mii is not None else ii
         self.ops: dict[int, ScheduledOp] = {}
         self.comms: list[Communication] = []
+        #: By-producer view of ``comms`` (placement engines query a
+        #: producer's transfers in their inner loops; keep in sync via
+        #: add_comm / replace_comm / _rebuild_comm_index).
+        self._comms_by_producer: dict[int, list[Communication]] = {}
         #: Failure log of the II attempts before this one succeeded.
         self.attempt_failures: list[FailureLog] = []
         #: Bus rows occupied / total (filled by the scheduler).
@@ -131,14 +135,23 @@ class ModuloSchedule:
 
     # ------------------------------------------------------------------
     def comms_for(self, producer: int) -> list[Communication]:
-        return [c for c in self.comms if c.producer == producer]
+        return self._comms_by_producer.get(producer, [])
 
     def add_comm(self, comm: Communication) -> None:
         self.comms.append(comm)
+        self._comms_by_producer.setdefault(comm.producer, []).append(comm)
 
     def replace_comm(self, old: Communication, new: Communication) -> None:
         idx = self.comms.index(old)
         self.comms[idx] = new
+        per = self._comms_by_producer[old.producer]
+        per[per.index(old)] = new
+
+    def _rebuild_comm_index(self) -> None:
+        """Re-derive the by-producer view after a bulk ``comms`` rewrite."""
+        self._comms_by_producer = {}
+        for comm in self.comms:
+            self._comms_by_producer.setdefault(comm.producer, []).append(comm)
 
     # ------------------------------------------------------------------
     @property

@@ -47,8 +47,14 @@ def compute_timings(graph: DependenceGraph, ii: int) -> dict[int, NodeTiming]:
     """ASAP/ALAP (ignoring resources) for every node at initiation interval *ii*.
 
     Requires ``ii >= RecMII`` — otherwise relaxation diverges on a positive
-    cycle, which is reported as :class:`GraphError`.
+    cycle, which is reported as :class:`GraphError`.  Memoised per
+    (graph, ii): the same graph is retried at the same II by different
+    schedulers and machine configurations (timings are resource-free).
     """
+    return graph.derived(("timings", ii), lambda: _compute_timings(graph, ii))
+
+
+def _compute_timings(graph: DependenceGraph, ii: int) -> dict[int, NodeTiming]:
     nodes = graph.node_ids
     asap = {v: 0 for v in nodes}
     edges = [(d.src, d.dst, d.latency - ii * d.distance) for d in graph.edges]
@@ -89,8 +95,12 @@ def recurrence_sets(graph: DependenceGraph) -> list[set[int]]:
     """Recurrence SCCs sorted by decreasing RecMII (then size, then min id).
 
     Only SCCs containing a cycle qualify (more than one node, or a
-    self-loop).
+    self-loop).  Memoised per graph (shared — do not mutate the result).
     """
+    return graph.derived("recurrence_sets", lambda: _recurrence_sets(graph))
+
+
+def _recurrence_sets(graph: DependenceGraph) -> list[set[int]]:
     g = graph.to_networkx()
     sccs = []
     for comp in nx.strongly_connected_components(g):
@@ -182,7 +192,13 @@ def sms_order(graph: DependenceGraph, ii: int | None = None) -> list[int]:
 
     *ii* defaults to RecMII (priorities only need a feasible II; the
     resource component of MII does not change relative mobilities).
+    Memoised per (graph, ii): the II search recomputes the order on every
+    attempt, and it only depends on the graph (shared — do not mutate).
     """
+    return graph.derived(("sms_order", ii), lambda: _sms_order(graph, ii))
+
+
+def _sms_order(graph: DependenceGraph, ii: int | None = None) -> list[int]:
     if len(graph) == 0:
         return []
     if ii is None:
@@ -254,10 +270,16 @@ def sms_order(graph: DependenceGraph, ii: int | None = None) -> list[int]:
 
 
 def topological_order(graph: DependenceGraph) -> list[int]:
-    """Plain topological order on zero-distance edges (ablation baseline)."""
-    g = nx.DiGraph()
-    g.add_nodes_from(graph.node_ids)
-    for dep in graph.edges:
-        if dep.distance == 0:
-            g.add_edge(dep.src, dep.dst)
-    return list(nx.lexicographical_topological_sort(g))
+    """Plain topological order on zero-distance edges (ablation baseline).
+
+    Memoised per graph (shared — do not mutate the result)."""
+
+    def build() -> list[int]:
+        g = nx.DiGraph()
+        g.add_nodes_from(graph.node_ids)
+        for dep in graph.edges:
+            if dep.distance == 0:
+                g.add_edge(dep.src, dep.dst)
+        return list(nx.lexicographical_topological_sort(g))
+
+    return graph.derived("topological_order", build)

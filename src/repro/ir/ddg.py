@@ -91,6 +91,8 @@ class DependenceGraph:
         self._succs: dict[int, list[Dependence]] = {}
         self._preds: dict[int, list[Dependence]] = {}
         self._flow_out_cache: dict[int, tuple[Dependence, ...]] | None = None
+        self._flow_in_cache: dict[int, tuple[Dependence, ...]] | None = None
+        self._derived: dict[object, object] = {}
 
     # ------------------------------------------------------------------
     # Construction
@@ -103,7 +105,7 @@ class DependenceGraph:
         self._nodes[node_id] = op
         self._succs[node_id] = []
         self._preds[node_id] = []
-        self._flow_out_cache = None
+        self._invalidate_caches()
         return node_id
 
     def add_dependence(
@@ -134,8 +136,28 @@ class DependenceGraph:
         self._edges.append(dep)
         self._succs[src].append(dep)
         self._preds[dst].append(dep)
-        self._flow_out_cache = None
+        self._invalidate_caches()
         return dep
+
+    def _invalidate_caches(self) -> None:
+        self._flow_out_cache = None
+        self._flow_in_cache = None
+        if self._derived:
+            self._derived.clear()
+
+    def derived(self, key, build):
+        """Memoise ``build()`` against this graph's current content.
+
+        Schedulers re-derive orderings, timing priorities and MII bounds
+        for the *same* graph on every II attempt; memoising them on the
+        graph (invalidated by any mutation) makes retries nearly free.
+        The cached value is shared — callers must not mutate it.
+        """
+        try:
+            return self._derived[key]
+        except KeyError:
+            value = self._derived[key] = build()
+            return value
 
     # ------------------------------------------------------------------
     # Inspection
@@ -190,9 +212,17 @@ class DependenceGraph:
             }
         return self._flow_out_cache[node_id]
 
-    def flow_producers(self, node_id: int) -> list[Dependence]:
-        """Flow edges entering *node_id* (values it reads)."""
-        return [d for d in self._preds[node_id] if d.moves_value]
+    def flow_producers(self, node_id: int) -> tuple[Dependence, ...]:
+        """Flow edges entering *node_id* (values it reads).
+
+        Cached per graph: schedulers call this in their inner loops.
+        """
+        if self._flow_in_cache is None:
+            self._flow_in_cache = {
+                n: tuple(d for d in preds if d.moves_value)
+                for n, preds in self._preds.items()
+            }
+        return self._flow_in_cache[node_id]
 
     def op_count_by_class(self) -> dict:
         """Number of operations per functional-unit class."""

@@ -42,7 +42,14 @@ def unroll_graph(graph: DependenceGraph, factor: int) -> DependenceGraph:
         for op in graph.operations():
             tag = f"{op.tag}#{k}" if op.tag else f"#{k}"
             new_id = unrolled.add_operation(op.opcode.name, tag)
-            assert new_id == k * n + op.node_id
+            # Not an assert: the id layout is load-bearing (copy_of /
+            # original_node arithmetic) and must hold under ``python -O``.
+            if new_id != k * n + op.node_id:
+                raise GraphError(
+                    f"unroll id layout broken: copy {k} of node {op.node_id} "
+                    f"got id {new_id}, expected {k * n + op.node_id} "
+                    "(non-dense node ids in the source graph?)"
+                )
     for k in range(factor):
         for dep in graph.edges:
             dst_copy = (k + dep.distance) % factor

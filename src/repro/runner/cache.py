@@ -48,15 +48,51 @@ def default_cache_root() -> Path:
     return base / "repro-vliw"
 
 
+#: Process-wide memo of the package source hash (the tree never changes
+#: under a running process; workers each compute it once).
+_SOURCE_HASH: str | None = None
+
+
+def package_source_hash(root: Path | None = None) -> str:
+    """A short content hash over every ``repro`` source file.
+
+    Any scheduler edit — with or without a release bump — must orphan
+    cached results, otherwise a stale cache silently replays old numbers.
+    Hashes (relative path, file bytes) of ``src/repro/**/*.py`` in sorted
+    order; the default tree is hashed once per process and memoised
+    (tests pass explicit roots).
+    """
+    global _SOURCE_HASH
+    if root is not None:
+        return _hash_tree(root)
+    if _SOURCE_HASH is None:
+        _SOURCE_HASH = _hash_tree(Path(__file__).resolve().parent.parent)  # src/repro
+    return _SOURCE_HASH
+
+
+def _hash_tree(root: Path) -> str:
+    digest = hashlib.sha256()
+    for path in sorted(root.rglob("*.py")):
+        digest.update(str(path.relative_to(root)).encode())
+        digest.update(b"\0")
+        try:
+            digest.update(path.read_bytes())
+        except OSError:  # pragma: no cover - racing editor/installer
+            continue
+        digest.update(b"\0")
+    return digest.hexdigest()[:12]
+
+
 def default_code_version() -> str:
     """The code version mixed into every cache key.
 
-    Combines the package release with the result-payload format, so
-    either a new release or a payload change invalidates old entries.
+    Combines the package release, the result-payload format and a content
+    hash of the package sources, so a new release, a payload change *or
+    any code edit* invalidates old entries.
     """
     from .. import __version__
 
-    return f"{__version__}+fmt{RESULT_FORMAT}"
+    return f"{__version__}+fmt{RESULT_FORMAT}+src{package_source_hash()}"
 
 
 @dataclass(frozen=True)

@@ -129,7 +129,13 @@ def generate_loop(
     values: list[int] = []  # node ids usable as operands
 
     def pick_operand() -> int:
-        if len(values) > shape.locality_window and rng.random() > shape.long_range_prob:
+        # With probability ``long_range_prob`` the operand may reach
+        # anywhere in the body, otherwise it stays in the locality
+        # window.  Written so the comparison *positively* gates the
+        # long-range draw — a knob like this is one inverted comparison
+        # away from meaning its opposite, so the monotonicity is also
+        # locked by a statistical test (test_long_range_prob_monotonic).
+        if len(values) > shape.locality_window and not rng.random() < shape.long_range_prob:
             return rng.choice(values[-shape.locality_window:])
         return rng.choice(values)
 

@@ -1,0 +1,104 @@
+"""Tests for the continuous benchmark harness (repro.bench + CLI).
+
+The real registry is expensive, so most tests inject a tiny fake
+registry; one smoke test runs a single real benchmark end-to-end.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import bench
+from repro.cli import main
+
+
+class TestBenchFiles:
+    def test_next_and_latest(self, tmp_path):
+        assert bench.latest_bench_path(tmp_path) is None
+        assert bench.next_bench_path(tmp_path).name == "BENCH_1.json"
+        (tmp_path / "BENCH_1.json").write_text("{}")
+        (tmp_path / "BENCH_3.json").write_text("{}")
+        (tmp_path / "BENCH_x.json").write_text("{}")  # ignored: not BENCH_<n>
+        assert bench.latest_bench_path(tmp_path).name == "BENCH_3.json"
+        assert bench.next_bench_path(tmp_path).name == "BENCH_4.json"
+
+    def test_load_rejects_non_bench(self, tmp_path):
+        path = tmp_path / "BENCH_1.json"
+        path.write_text(json.dumps({"whatever": 1}))
+        with pytest.raises(ValueError):
+            bench.load_bench(path)
+
+
+class TestRegressionGate:
+    def report(self, best_s: float, calibration: float = 0.001) -> bench.BenchReport:
+        return bench.BenchReport(
+            results=[bench.BenchResult("x", "d", [best_s], 1)],
+            quick=True,
+            repeats=1,
+            calibration_s=calibration,
+        )
+
+    def baseline(self, best_s: float, calibration: float = 0.001) -> dict:
+        return {
+            "calibration_s": calibration,
+            "results": {"x": {"best_s": best_s}},
+        }
+
+    def test_within_threshold_passes(self):
+        regs = bench.find_regressions(self.report(0.115), self.baseline(0.100))
+        assert regs == []
+
+    def test_regression_detected(self):
+        regs = bench.find_regressions(self.report(0.130), self.baseline(0.100))
+        assert len(regs) == 1
+        assert regs[0].name == "x"
+        assert regs[0].slowdown == pytest.approx(1.3)
+
+    def test_calibration_rescales_baseline(self):
+        """A 2x-slower host doubles the allowance — no false regression."""
+        report = self.report(0.180, calibration=0.002)  # host is 2x slower
+        baseline = self.baseline(0.100, calibration=0.001)
+        assert bench.find_regressions(report, baseline) == []
+        # but a real 2.5x slowdown still trips even on the slower host
+        report = self.report(0.250, calibration=0.002)
+        assert len(bench.find_regressions(report, baseline)) == 1
+
+    def test_unknown_benchmarks_skipped(self):
+        report = self.report(0.5)
+        baseline = {"calibration_s": 0.001, "results": {"other": {"best_s": 0.1}}}
+        assert bench.find_regressions(report, baseline) == []
+
+
+class TestBenchEndToEnd:
+    @pytest.mark.slow
+    def test_single_real_benchmark_records_and_compares(self, tmp_path, capsys):
+        main(
+            [
+                "bench", "--only", "sim.execute", "--repeat", "1", "--record",
+                "--dir", str(tmp_path), "--quiet",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert "sim.execute" in out
+        path = tmp_path / "BENCH_1.json"
+        assert path.is_file()
+        doc = bench.load_bench(path)
+        assert "sim.execute" in doc["results"]
+        assert doc["results"]["sim.execute"]["best_s"] > 0
+        assert doc["calibration_s"] > 0
+
+        # comparing against itself must pass the gate (and print speedups)
+        main(
+            [
+                "bench", "--only", "sim.execute", "--repeat", "1",
+                "--compare", "--dir", str(tmp_path), "--quiet",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert "no regression" in out or "REGRESSION" in out
+
+    def test_compare_without_baseline_exits(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["bench", "--compare", "--dir", str(tmp_path), "--quiet"])

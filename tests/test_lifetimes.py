@@ -121,6 +121,38 @@ class TestCommunicationLifetimes:
         s.add_comm(Communication(a, 0, 0, start_cycle=3, readers=frozenset({1})))
         assert cluster_pressures(s)[1] == 0
 
+    def test_incoming_value_at_negative_cycles(self):
+        """Late reads at negative cycles still pin an incoming value.
+
+        Backward scans legally place nodes at negative cycles before the
+        schedule is normalised (engine.py docstring).  A ``-1`` sentinel
+        for the last late read silently dropped these intervals and
+        understated MaxLive, letting placements pass ``pressure_ok`` that
+        a normalised schedule would reject.
+        """
+        g, a, b = two_node_graph(consumer="store")
+        s = ModuloSchedule(g, self.cfg(latency=2), ii=4)
+        s.place(ScheduledOp(a, -9, 0, 0))
+        s.place(ScheduledOp(b, -3, 1, 0))  # reads at -3, after arrival -4
+        s.add_comm(Communication(a, 0, 0, start_cycle=-6, readers=frozenset({1})))
+        ivs = _intervals(s, None)
+        assert (1, -4, -2) in ivs  # stored from arrival -4 until read -3
+        assert cluster_pressures(s)[1] == 1
+
+    def test_negative_cycle_pressure_matches_normalised(self):
+        """Pressure of an un-normalised schedule equals its shifted twin."""
+        g, a, b = two_node_graph()
+        cfg = self.cfg(latency=2)
+        lo = ModuloSchedule(g, cfg, ii=4)
+        lo.place(ScheduledOp(a, -9, 0, 0))
+        lo.place(ScheduledOp(b, -3, 1, 0))
+        lo.add_comm(Communication(a, 0, 0, start_cycle=-6, readers=frozenset({1})))
+        hi = ModuloSchedule(g, cfg, ii=4)
+        hi.place(ScheduledOp(a, 3, 0, 0))  # same schedule shifted by +12
+        hi.place(ScheduledOp(b, 9, 1, 0))
+        hi.add_comm(Communication(a, 0, 0, start_cycle=6, readers=frozenset({1})))
+        assert cluster_pressures(lo) == cluster_pressures(hi)
+
     def test_extra_comms_overlay(self):
         g, a, b = two_node_graph(consumer="store")
         s = ModuloSchedule(g, self.cfg(), ii=10)

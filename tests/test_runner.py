@@ -130,6 +130,38 @@ class TestResultCache:
         assert v2.clear() == 1
         assert ResultCache(tmp_path / "c", code_version="v1").get(point) is None
 
+    def test_default_code_version_tracks_source_content(self, monkeypatch):
+        """Any scheduler edit invalidates the cache, version bump or not.
+
+        ``default_code_version`` must mix a content hash of the package
+        sources into the key, so editing any ``src/repro/**/*.py`` file
+        without touching ``__version__`` still orphans stale entries.
+        """
+        from repro.runner import cache as cache_mod
+
+        monkeypatch.setattr(cache_mod, "_SOURCE_HASH", None)
+        v1 = cache_mod.default_code_version()
+        assert cache_mod.package_source_hash() in v1
+        # memoised: the second call must not rescan the tree
+        monkeypatch.setattr(cache_mod.Path, "rglob", None)
+        assert cache_mod.default_code_version() == v1
+
+    def test_source_hash_changes_with_content(self, tmp_path):
+        from repro.runner.cache import package_source_hash
+
+        tree = tmp_path / "pkg"
+        (tree / "sub").mkdir(parents=True)
+        (tree / "mod.py").write_text("x = 1\n")
+        (tree / "sub" / "other.py").write_text("y = 1\n")
+        h1 = package_source_hash(tree)
+        (tree / "mod.py").write_text("x = 2\n")
+        h2 = package_source_hash(tree)
+        assert h1 != h2
+        # renaming a file (same bytes) also changes the hash
+        (tree / "mod.py").rename(tree / "mod2.py")
+        h3 = package_source_hash(tree)
+        assert h3 not in (h1, h2)
+
     def test_corrupt_entry_is_a_miss(self, cache):
         loop = kernel_loop("daxpy")
         point = scenario_for(loop, two_cluster_config(), "bsa", UnrollPolicy.NONE)

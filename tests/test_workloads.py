@@ -64,6 +64,31 @@ class TestGenerator:
         g = generate_loop(self.shape(n_ops=40))
         assert 30 <= len(g) <= 50
 
+    def test_long_range_prob_monotonic(self):
+        """More long-range knob -> more long-range operand edges.
+
+        Regression test for the knob gating the wrong branch: counts
+        (averaged over seeds) must increase monotonically in the knob and
+        be exactly zero when it is zero.
+        """
+
+        def long_edges(prob: float) -> int:
+            total = 0
+            for seed in range(10):
+                shape = self.shape(seed=seed, n_ops=60, long_range_prob=prob)
+                g = generate_loop(shape)
+                # operands reaching further back than twice the locality
+                # window can only come from the long-range draw
+                total += sum(
+                    1 for d in g.edges if d.dst - d.src > 2 * shape.locality_window
+                )
+            return total
+
+        counts = [long_edges(p) for p in (0.0, 0.25, 0.5, 1.0)]
+        assert counts[0] == 0
+        assert counts == sorted(counts)
+        assert counts[0] < counts[1] < counts[3]
+
     def test_mem_fraction_respected(self):
         g = generate_loop(self.shape(n_ops=60, mem_fraction=0.5))
         counts = g.op_count_by_class()
