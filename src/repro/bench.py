@@ -246,6 +246,45 @@ def _bench_sweep_micro() -> Benchmark:
     )
 
 
+def _bench_service_submit() -> Benchmark:
+    def prepare():
+        import shutil
+        import tempfile
+
+        from .runner.cache import ResultCache
+        from .service.client import default_mix
+        from .service.core import ScheduleRequest, SchedulingService
+
+        root = tempfile.mkdtemp(prefix="repro-bench-service-")
+        service = SchedulingService(
+            cache=ResultCache(root, code_version="bench"), workers=0
+        )
+        requests = [ScheduleRequest.from_payload(p) for p in default_mix()]
+        # Warm every scenario once: the benchmark then measures the warm
+        # submit round-trip (queue -> dispatch -> memo/cache hit ->
+        # response), i.e. the service overhead on top of the runner.
+        for request in requests:
+            service.submit_schedule(request).wait(60.0)
+        reps = 4
+
+        def run():
+            for _ in range(reps):
+                jobs = [service.submit_schedule(r) for r in requests]
+                for job in jobs:
+                    job.wait(60.0)
+            # The tempdir is only cleaned when the interpreter exits the
+            # benchmark; repeated runs reuse the warm cache by design.
+
+        run.cleanup = lambda: (service.close(), shutil.rmtree(root, True))  # type: ignore[attr-defined]
+        return run, reps * len(requests)
+
+    return Benchmark(
+        "service.submit",
+        "Warm-cache submit round-trip through the scheduling service queue",
+        prepare,
+    )
+
+
 def all_benchmarks() -> list[Benchmark]:
     """The benchmark registry, in reporting order."""
     return [
@@ -255,6 +294,7 @@ def all_benchmarks() -> list[Benchmark]:
         _bench_pressure_scratch(),
         _bench_simulate(),
         _bench_sweep_micro(),
+        _bench_service_submit(),
     ]
 
 
@@ -401,6 +441,11 @@ def run_benchmarks(
         finally:
             if gc_was_enabled:
                 gc.enable()
+            # Benchmarks owning external state (a live service, a temp
+            # cache dir) attach a ``cleanup`` attribute to the closure.
+            cleanup = getattr(run, "cleanup", None)
+            if cleanup is not None:
+                cleanup()
         results.append(BenchResult(bench.name, bench.description, runs, calls))
         if progress:
             progress(f"{bench.name}: best {min(runs) * 1e3:.1f}ms over {repeats} runs")

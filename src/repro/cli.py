@@ -16,6 +16,9 @@ Commands map one-to-one onto the paper's artefacts::
     repro-vliw crossval [--quick]  # Figure 8 grid re-run under simulation
     repro-vliw sweep GRID          # run any declared grid via the runner
     repro-vliw cache [stats|clear] # inspect / wipe the result cache
+    repro-vliw serve               # persistent scheduling service (HTTP)
+    repro-vliw submit KERNEL       # schedule via a running service
+    repro-vliw loadtest            # drive N concurrent synthetic clients
 
 Every grid command (fig4/fig8/fig9/fig10, crossval, sweep) executes
 through the parallel, cache-backed runner: ``--jobs N`` shards the work
@@ -332,6 +335,124 @@ def cmd_bench(args: argparse.Namespace) -> None:
         print(f"\nno regression vs {compare_source} (threshold {args.threshold:.0%})")
 
 
+def cmd_serve(args: argparse.Namespace) -> None:
+    from .service import SchedulingService, ServiceServer
+
+    service = SchedulingService(cache=_cache(args), workers=args.workers)
+    try:
+        server = ServiceServer(
+            service, args.host, args.port, quiet=not args.verbose
+        )
+    except OSError as exc:
+        service.close()
+        sys.exit(f"serve: cannot bind {args.host}:{args.port}: {exc}")
+    cache_line = (
+        str(service.cache.root) if service.cache is not None else "disabled"
+    )
+    print(
+        f"repro-vliw service listening on {server.url} "
+        f"(workers={service.workers}, cache={cache_line})",
+        flush=True,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("\nshutting down (finishing the batch in flight) ...")
+    finally:
+        server.server_close()
+        service.close()
+
+
+def _service_client(args: argparse.Namespace):
+    from .service import ServiceClient
+
+    return ServiceClient(args.host, args.port, timeout=args.timeout)
+
+
+def cmd_submit(args: argparse.Namespace) -> None:
+    import json as _json
+
+    from .errors import ServiceError
+
+    payload = {
+        "kernel": args.kernel,
+        "clusters": args.clusters,
+        "buses": args.buses,
+        "latency": args.latency,
+        "scheduler": args.scheduler,
+        "policy": args.policy,
+    }
+    if args.simulate:
+        payload.update(
+            simulate=True,
+            niter=args.niter,
+            miss_rate=args.miss_rate,
+            miss_penalty=args.miss_penalty,
+            seed=args.seed,
+        )
+    client = _service_client(args)
+    try:
+        if args.no_wait:
+            doc = client.schedule(payload, wait=False)
+            print(f"queued {doc['job']} (poll GET /jobs/{doc['job']})")
+            return
+        doc = client.schedule(payload)
+    except ServiceError as exc:
+        sys.exit(f"submit: {exc}")
+    if doc["status"] != "done":
+        sys.exit(f"submit: job {doc.get('job')} ended {doc['status']!r}: "
+                 f"{doc.get('error')}")
+    result = doc["result"]
+    if args.json:
+        print(_json.dumps(result, indent=2, sort_keys=True))
+        return
+    print(result["rendered"])
+    if result.get("sim") is not None:
+        sim = result["sim"]
+        print()
+        print(
+            f"simulated {sim['simulated_cycles']} cycles "
+            f"(analytic {sim['analytic_cycles']}), "
+            f"IPC {sim['simulated_ipc']:.3f}"
+        )
+
+
+def cmd_loadtest(args: argparse.Namespace) -> None:
+    import json as _json
+
+    from .errors import ServiceError
+    from .service import run_loadtest
+
+    client = _service_client(args)
+    if not client.wait_until_healthy(timeout=args.wait_healthy):
+        sys.exit(
+            f"loadtest: no service answering at {client.base_url} "
+            f"(start one with: repro-vliw serve --port {args.port})"
+        )
+    try:
+        report = run_loadtest(
+            args.host,
+            args.port,
+            clients=args.clients,
+            requests=args.requests,
+            verify=not args.no_verify,
+            timeout=args.timeout,
+        )
+    except (ServiceError, ValueError) as exc:
+        sys.exit(f"loadtest: {exc}")
+    if args.json:
+        print(_json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.render())
+    if not report.ok:
+        sys.exit(1)
+    if report.hit_rate < args.min_hit_rate:
+        sys.exit(
+            f"loadtest: cache-hit rate {report.hit_rate:.1%} below required "
+            f"{args.min_hit_rate:.1%}"
+        )
+
+
 def cmd_cache(args: argparse.Namespace) -> None:
     cache = ResultCache(args.cache_dir)
     if args.action == "clear":
@@ -398,6 +519,68 @@ def main(argv: list[str] | None = None) -> None:
                    help="also write the report JSON to an explicit path")
     p.add_argument("--quiet", action="store_true", help="suppress progress lines")
     p.set_defaults(func=cmd_bench)
+    p = sub.add_parser(
+        "serve", help="run the persistent scheduling service (JSON over HTTP)"
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8537,
+                   help="listen port (0 picks an ephemeral port; default 8537)")
+    p.add_argument("--workers", type=int, default=2,
+                   help="shared worker processes (0 = in-process execution)")
+    p.add_argument("--verbose", action="store_true",
+                   help="log every HTTP request to stderr")
+    p.add_argument(
+        "--no-cache", action="store_true",
+        help="do not read or write the on-disk result cache",
+    )
+    p.add_argument(
+        "--cache-dir", default=None,
+        help="cache directory (default: $REPRO_VLIW_CACHE or ~/.cache/repro-vliw)",
+    )
+    p.set_defaults(func=cmd_serve)
+    p = sub.add_parser(
+        "submit", help="schedule a kernel through a running service"
+    )
+    p.add_argument("kernel")
+    p.add_argument("--clusters", type=int, default=4)
+    p.add_argument("--buses", type=int, default=1)
+    p.add_argument("--latency", type=int, default=1)
+    p.add_argument("--scheduler", default="bsa")
+    p.add_argument("--policy", default="none",
+                   help="unrolling policy: none / all / selective")
+    p.add_argument("--simulate", action="store_true",
+                   help="also execute the schedule on the simulator")
+    p.add_argument("--niter", type=int, default=100)
+    p.add_argument("--miss-rate", type=float, default=0.0)
+    p.add_argument("--miss-penalty", type=int, default=10)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--no-wait", action="store_true",
+                   help="enqueue and print the job id instead of waiting")
+    p.add_argument("--json", action="store_true",
+                   help="print the raw JSON result payload")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8537)
+    p.add_argument("--timeout", type=float, default=120.0)
+    p.set_defaults(func=cmd_submit)
+    p = sub.add_parser(
+        "loadtest",
+        help="drive concurrent synthetic clients against a running service",
+    )
+    p.add_argument("--clients", type=int, default=8)
+    p.add_argument("--requests", type=int, default=64)
+    p.add_argument("--no-verify", action="store_true",
+                   help="skip the byte-identity check against the direct path")
+    p.add_argument("--min-hit-rate", type=float, default=0.0, metavar="FRAC",
+                   help="fail unless the cache-hit rate reaches FRAC (0..1)")
+    p.add_argument("--json", action="store_true",
+                   help="print the report as JSON")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8537)
+    p.add_argument("--timeout", type=float, default=120.0,
+                   help="per-request HTTP timeout in seconds")
+    p.add_argument("--wait-healthy", type=float, default=10.0,
+                   help="seconds to wait for /healthz before giving up")
+    p.set_defaults(func=cmd_loadtest)
     p = sub.add_parser("cache", help="result-cache statistics / clearing")
     p.add_argument(
         "action", nargs="?", choices=("stats", "clear"), default="stats"

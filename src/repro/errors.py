@@ -32,6 +32,15 @@ class VerificationError(ReproError):
     """An independently checked schedule violated a correctness invariant."""
 
 
+class ServiceError(ReproError):
+    """Base class for scheduling-service failures (:mod:`repro.service`).
+
+    Subclasses distinguish malformed requests (client's fault, HTTP 400),
+    submissions to a closing service (HTTP 503) and client-side transport
+    errors; all stay catchable under :class:`ReproError`.
+    """
+
+
 class SimulationError(ReproError):
     """Cycle-accurate execution of emitted code hit an impossible state.
 

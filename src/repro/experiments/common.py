@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import json
 import math
+from concurrent.futures import Executor
 from dataclasses import dataclass, field
 
 from ..arch.cluster import MachineConfig
@@ -115,6 +116,12 @@ class ExperimentContext:
     fresh:
         When true, never *read* the on-disk cache (results are still
         written back) — the ``--fresh`` CLI semantic.
+    pool:
+        Optional long-lived executor injected into every
+        :meth:`run_grid` sweep (see
+        :func:`repro.runner.engine.execute_points`); the scheduling
+        service wires its shared worker pool in here so grid jobs reuse
+        warm workers instead of paying pool start-up per request.
     memo:
         In-process map from scenario identity to the materialised
         :class:`ScheduledLoopResult` (stable object identity per point).
@@ -130,6 +137,7 @@ class ExperimentContext:
     cache: ResultCache | None = None
     jobs: int = 1
     fresh: bool = False
+    pool: Executor | None = None
     memo: dict[str, ScheduledLoopResult] = field(default_factory=dict)
     sim_memo: dict[str, CrossCheck] = field(default_factory=dict)
     fallbacks: list[ScenarioPoint] = field(default_factory=list)
@@ -230,6 +238,7 @@ class ExperimentContext:
             jobs=jobs,
             cache=self.cache,
             fresh=self.fresh,
+            pool=self.pool,
             prior_lookup=self._known_schedule,
         )
         for key, result in results.items():

@@ -29,7 +29,9 @@ from .engine import (
     SCHEDULERS,
     SweepStats,
     execute_point,
+    execute_points,
     make_scheduler,
+    make_worker_pool,
     run_sweep,
     sequential_fallback,
 )
@@ -56,9 +58,11 @@ __all__ = [
     "default_cache_root",
     "default_code_version",
     "execute_point",
+    "execute_points",
     "graph_content_hash",
     "machine_to_json",
     "make_scheduler",
+    "make_worker_pool",
     "run_sweep",
     "scenario_for",
 ]

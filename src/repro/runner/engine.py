@@ -15,6 +15,14 @@ and results are keyed by content, a sweep's output is byte-identical at
 ``--jobs 1`` and ``--jobs N``, and a killed sweep resumes from whatever
 the cache already holds.
 
+:func:`execute_points` is the execution core underneath
+:func:`run_sweep`: it takes an already-deduplicated list of cache
+misses and runs them — in-process, on an ephemeral pool, or on an
+**injected long-lived executor**.  Long-lived front ends
+(:mod:`repro.service`) call it directly with a shared
+``ProcessPoolExecutor`` so concurrent clients amortise worker start-up
+across requests instead of paying pool creation per sweep.
+
 The scheduler registry (:data:`SCHEDULERS`, :func:`make_scheduler`) and
 the list-schedule fallback live here so both the engine's workers and
 the experiment harnesses dispatch through one table;
@@ -24,8 +32,9 @@ the experiment harnesses dispatch through one table;
 from __future__ import annotations
 
 import json
-from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass, field
+from concurrent.futures import Executor, ProcessPoolExecutor
+from contextlib import nullcontext
+from dataclasses import dataclass
 from multiprocessing import get_context
 from typing import Any, Callable
 
@@ -237,6 +246,123 @@ def _shard(
 
 
 # ---------------------------------------------------------------------------
+# The execution core (shared by one-shot sweeps and the service)
+# ---------------------------------------------------------------------------
+def make_worker_pool(workers: int) -> ProcessPoolExecutor:
+    """A spawn-context process pool suitable for :func:`execute_points`.
+
+    Spawn (not fork) keeps workers identical across platforms and free
+    of inherited locks; long-lived callers (:mod:`repro.service`) create
+    one of these once and inject it into every batch.
+    """
+    return ProcessPoolExecutor(
+        max_workers=workers, mp_context=get_context("spawn")
+    )
+
+
+def execute_points(
+    misses: list[tuple[str, GridItem]],
+    *,
+    jobs: int = 1,
+    pool: Executor | None = None,
+    cache: ResultCache | None = None,
+    prior_for: Callable[
+        [ScenarioPoint], tuple[ScheduledLoopResult | None, bool]
+    ]
+    | None = None,
+) -> dict[str, PointResult]:
+    """Execute already-deduplicated cache misses and return their results.
+
+    This is the execution core shared by :func:`run_sweep` (which owns
+    cache probing and stats) and the batch scheduling service (which
+    owns its own dedupe/queueing).  Three execution strategies:
+
+    * ``pool`` given — shard across the **injected** executor; the pool
+      is *not* shut down, so a long-lived caller reuses warm workers;
+    * ``pool is None`` and ``jobs > 1`` — shard across an ephemeral
+      spawn-context :class:`ProcessPoolExecutor` (the one-shot CLI path);
+    * otherwise — execute serially in-process.
+
+    Parameters
+    ----------
+    misses:
+        ``(canonical_key, (point, loop))`` pairs; callers pass distinct
+        keys (duplicates would just be executed twice).
+    jobs:
+        Shard count.  With an injected *pool* this is the batch's
+        parallel width (shards beyond the pool's workers simply queue).
+    cache:
+        When given, every result is persisted as it completes — in the
+        worker for pooled execution, inline for serial execution — so an
+        interrupted batch still resumes from every finished point.
+    prior_for:
+        Optional hook returning ``(schedule, was_fallback)`` for a
+        simulated point's schedule-only twin (see :func:`run_sweep`).
+
+    Returns
+    -------
+    dict
+        ``canonical_key -> PointResult`` for every miss, in completion
+        order.  Deterministic in content (scheduling is deterministic
+        per point) regardless of strategy.
+    """
+    results: dict[str, PointResult] = {}
+    if not misses:
+        return results
+
+    def _prior(point: ScenarioPoint) -> tuple[ScheduledLoopResult | None, bool]:
+        if prior_for is None:
+            return None, False
+        return prior_for(point)
+
+    if pool is None and jobs <= 1:
+        for key, (point, loop) in misses:
+            prior, prior_fb = _prior(point)
+            result = execute_point(
+                point, loop, prior=prior, prior_fallback=prior_fb
+            )
+            if cache is not None:
+                store_result(cache, point, result)
+            results[key] = result
+        return results
+
+    shards = _shard(misses, max(1, jobs))
+    payloads = []
+    for shard in shards:
+        batch = []
+        for _key, (point, loop) in shard:
+            prior, prior_fb = _prior(point)
+            batch.append(
+                {
+                    "point": _point_dict(point),
+                    "loop": loop_to_dict(loop),
+                    "prior": (
+                        PointResult.from_loop_result(
+                            prior, fallback=prior_fb
+                        ).to_dict()
+                        if prior is not None
+                        else None
+                    ),
+                }
+            )
+        payloads.append(batch)
+    cache_root = str(cache.root) if cache is not None else None
+    code_version = cache.code_version if cache is not None else None
+    owned = (
+        make_worker_pool(len(shards)) if pool is None else nullcontext(pool)
+    )
+    with owned as executor:
+        futures = [
+            executor.submit(_run_batch, batch, cache_root, code_version)
+            for batch in payloads
+        ]
+        for future in futures:
+            for key, payload in future.result():
+                results[key] = PointResult.from_dict(payload)
+    return results
+
+
+# ---------------------------------------------------------------------------
 # The sweep driver
 # ---------------------------------------------------------------------------
 @dataclass
@@ -277,6 +403,7 @@ def run_sweep(
     jobs: int = 1,
     cache: ResultCache | None = None,
     fresh: bool = False,
+    pool: Executor | None = None,
     prior_lookup: Callable[
         [ScenarioPoint], tuple[ScheduledLoopResult, bool] | None
     ]
@@ -296,6 +423,10 @@ def run_sweep(
         Shared on-disk cache; ``None`` disables persistence.
     fresh:
         Ignore cached entries (results are still written back).
+    pool:
+        Optional long-lived executor for the misses (see
+        :func:`execute_points`); when given, ``jobs`` only sets the
+        shard width and no pool is created or shut down here.
     prior_lookup:
         Optional hook returning ``(schedule, was_fallback)`` for a
         point's schedule-only twin (see
@@ -344,53 +475,13 @@ def run_sweep(
                 return cached_twin.loop_result(), cached_twin.fallback
         return None, False
 
-    if jobs <= 1:
-        for key, (point, loop) in misses:
-            prior, prior_fb = _prior_for(point)
-            result = execute_point(
-                point, loop, prior=prior, prior_fallback=prior_fb
-            )
-            if cache is not None:
-                store_result(cache, point, result)
-            results[key] = result
-            stats.executed += 1
-            stats.fallbacks += int(result.fallback)
-    else:
-        shards = _shard(misses, jobs)
-        payloads = []
-        for shard in shards:
-            batch = []
-            for _key, (point, loop) in shard:
-                prior, prior_fb = _prior_for(point)
-                batch.append(
-                    {
-                        "point": _point_dict(point),
-                        "loop": loop_to_dict(loop),
-                        "prior": (
-                            PointResult.from_loop_result(
-                                prior, fallback=prior_fb
-                            ).to_dict()
-                            if prior is not None
-                            else None
-                        ),
-                    }
-                )
-            payloads.append(batch)
-        cache_root = str(cache.root) if cache is not None else None
-        code_version = cache.code_version if cache is not None else None
-        with ProcessPoolExecutor(
-            max_workers=len(shards), mp_context=get_context("spawn")
-        ) as pool:
-            futures = [
-                pool.submit(_run_batch, batch, cache_root, code_version)
-                for batch in payloads
-            ]
-            for future in futures:
-                for key, payload in future.result():
-                    result = PointResult.from_dict(payload)
-                    results[key] = result
-                    stats.executed += 1
-                    stats.fallbacks += int(result.fallback)
+    executed = execute_points(
+        misses, jobs=jobs, pool=pool, cache=cache, prior_for=_prior_for
+    )
+    for key, result in executed.items():
+        results[key] = result
+        stats.executed += 1
+        stats.fallbacks += int(result.fallback)
     return results, stats
 
 

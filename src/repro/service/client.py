@@ -1,0 +1,382 @@
+"""Thin HTTP client for the scheduling service, plus the loadtest driver.
+
+:class:`ServiceClient` wraps the JSON API with stdlib ``urllib`` (no new
+dependencies) and raises :class:`ClientError` carrying the HTTP status
+and the server's ``error`` message.
+
+:func:`run_loadtest` is the synthetic-traffic harness behind
+``repro-vliw loadtest``: N concurrent clients replay a deterministic mix
+of scheduling scenarios against a running server and the report carries
+p50/p95 latency, success rate and cache-hit rate.  With ``verify`` on
+(the default) every distinct scenario's response is additionally diffed
+byte-for-byte against the direct in-process execution path
+(:func:`repro.service.core.reference_payload`) — the service must be a
+cache, never a different compiler.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import threading
+import time
+import urllib.error
+import urllib.request
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..errors import ServiceError
+from .core import ScheduleRequest, reference_payload
+from .server import DEFAULT_HOST, DEFAULT_PORT
+
+__all__ = [
+    "ClientError",
+    "LoadtestReport",
+    "ServiceClient",
+    "default_mix",
+    "run_loadtest",
+]
+
+
+class ClientError(ServiceError):
+    """An HTTP request to the service failed (transport or server side)."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(message)
+        #: HTTP status code; ``0`` for transport-level failures.
+        self.status = status
+
+
+class ServiceClient:
+    """JSON-over-HTTP client for one ``repro-vliw serve`` instance."""
+
+    def __init__(
+        self,
+        host: str = DEFAULT_HOST,
+        port: int = DEFAULT_PORT,
+        *,
+        timeout: float = 120.0,
+    ):
+        self.base_url = f"http://{host}:{port}"
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    def _call(
+        self, method: str, path: str, payload: dict[str, Any] | None = None
+    ) -> dict[str, Any]:
+        data = json.dumps(payload).encode() if payload is not None else None
+        request = urllib.request.Request(
+            self.base_url + path,
+            data=data,
+            method=method,
+            headers={"Content-Type": "application/json"},
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as resp:
+                return json.loads(resp.read() or b"{}")
+        except urllib.error.HTTPError as exc:
+            body = exc.read()
+            try:
+                message = json.loads(body)["error"]
+            except (ValueError, KeyError, TypeError):
+                message = body.decode(errors="replace") or exc.reason
+            raise ClientError(exc.code, f"HTTP {exc.code}: {message}") from None
+        except urllib.error.URLError as exc:
+            raise ClientError(0, f"{self.base_url}: {exc.reason}") from None
+
+    # ------------------------------------------------------------------
+    def healthz(self) -> dict[str, Any]:
+        return self._call("GET", "/healthz")
+
+    def stats(self) -> dict[str, Any]:
+        return self._call("GET", "/stats")
+
+    def job(self, job_id: str) -> dict[str, Any]:
+        return self._call("GET", f"/jobs/{job_id}")
+
+    def _server_wait_budget(self) -> float:
+        """Server-side wait that keeps the 202+poll fallback reachable.
+
+        The server must give up waiting *before* this client's HTTP
+        timeout fires, otherwise a slow job kills the transport and the
+        caller loses the job id it would need to poll.
+        """
+        return max(1.0, self.timeout - 5.0)
+
+    def schedule(
+        self, request: dict[str, Any] | ScheduleRequest, *, wait: bool = True,
+        timeout_s: float | None = None,
+    ) -> dict[str, Any]:
+        """``POST /schedule``; returns the server's JSON response."""
+        payload = (
+            request.to_dict()
+            if isinstance(request, ScheduleRequest)
+            else dict(request)
+        )
+        payload["wait"] = wait
+        payload["timeout_s"] = (
+            timeout_s if timeout_s is not None else self._server_wait_budget()
+        )
+        return self._call("POST", "/schedule", payload)
+
+    def sweep(
+        self,
+        requests: list[dict[str, Any] | ScheduleRequest] | None = None,
+        *,
+        grid: str | None = None,
+        quick: bool = False,
+        jobs: int | None = None,
+        wait: bool = True,
+        timeout_s: float | None = None,
+    ) -> dict[str, Any]:
+        """``POST /sweep`` — a batch of requests or a named grid."""
+        payload: dict[str, Any] = {
+            "wait": wait,
+            "timeout_s": (
+                timeout_s if timeout_s is not None else self._server_wait_budget()
+            ),
+        }
+        if grid is not None:
+            payload["grid"] = grid
+            payload["quick"] = quick
+            if jobs is not None:
+                payload["jobs"] = jobs
+        else:
+            payload["requests"] = [
+                r.to_dict() if isinstance(r, ScheduleRequest) else dict(r)
+                for r in (requests or [])
+            ]
+        return self._call("POST", "/sweep", payload)
+
+    def poll_job(
+        self, job_id: str, *, timeout: float = 300.0, interval: float = 0.05
+    ) -> dict[str, Any]:
+        """Poll ``/jobs/<id>`` until the job finishes (or raise on timeout)."""
+        deadline = time.monotonic() + timeout
+        while True:
+            doc = self.job(job_id)
+            if doc["status"] in ("done", "failed", "cancelled"):
+                return doc
+            if time.monotonic() >= deadline:
+                raise ClientError(0, f"job {job_id} still {doc['status']!r}")
+            time.sleep(interval)
+
+    def wait_until_healthy(
+        self, *, timeout: float = 15.0, interval: float = 0.1
+    ) -> bool:
+        """True once ``/healthz`` answers; False if *timeout* elapses."""
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            try:
+                self.healthz()
+                return True
+            except ClientError:
+                time.sleep(interval)
+        return False
+
+
+# ---------------------------------------------------------------------------
+# Loadtest
+# ---------------------------------------------------------------------------
+def default_mix() -> list[dict[str, Any]]:
+    """The deterministic scenario mix loadtests replay.
+
+    Eight hand-written kernels on two clustered machine shapes — 16
+    distinct scenarios, so a 64-request loadtest exercises dedupe (4
+    requests per scenario) without collapsing to a single cache line.
+    """
+    kernels = (
+        "daxpy", "dot", "fir4", "hydro",
+        "stencil3", "stencil5", "tridiag", "vadd",
+    )
+    machines = ((4, 1, 1), (2, 1, 1))
+    return [
+        {
+            "kernel": kernel,
+            "clusters": clusters,
+            "buses": buses,
+            "latency": latency,
+        }
+        for kernel in kernels
+        for (clusters, buses, latency) in machines
+    ]
+
+
+def _percentile(sorted_values: list[float], q: float) -> float:
+    """Nearest-rank percentile of an already-sorted sample (0 when empty)."""
+    if not sorted_values:
+        return 0.0
+    rank = math.ceil(q * len(sorted_values))
+    return sorted_values[max(0, min(len(sorted_values), rank) - 1)]
+
+
+@dataclass
+class LoadtestReport:
+    """Outcome of one :func:`run_loadtest` run."""
+
+    clients: int
+    requests: int
+    successes: int
+    duration_s: float
+    latencies_s: list[float] = field(default_factory=list)
+    cache_hits: int = 0
+    errors: list[str] = field(default_factory=list)
+    verified: int = 0
+    mismatches: list[str] = field(default_factory=list)
+
+    @property
+    def success_rate(self) -> float:
+        return self.successes / self.requests if self.requests else 0.0
+
+    @property
+    def hit_rate(self) -> float:
+        return self.cache_hits / self.successes if self.successes else 0.0
+
+    @property
+    def p50_s(self) -> float:
+        return _percentile(sorted(self.latencies_s), 0.50)
+
+    @property
+    def p95_s(self) -> float:
+        return _percentile(sorted(self.latencies_s), 0.95)
+
+    @property
+    def throughput_rps(self) -> float:
+        return self.requests / self.duration_s if self.duration_s else 0.0
+
+    @property
+    def ok(self) -> bool:
+        """100% success and no byte-identity mismatches."""
+        return self.successes == self.requests and not self.mismatches
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "clients": self.clients,
+            "requests": self.requests,
+            "successes": self.successes,
+            "success_rate": self.success_rate,
+            "cache_hits": self.cache_hits,
+            "hit_rate": self.hit_rate,
+            "p50_ms": self.p50_s * 1e3,
+            "p95_ms": self.p95_s * 1e3,
+            "throughput_rps": self.throughput_rps,
+            "duration_s": self.duration_s,
+            "verified": self.verified,
+            "mismatches": self.mismatches,
+            "errors": self.errors[:10],
+        }
+
+    def render(self) -> str:
+        """Human-readable summary (the ``repro-vliw loadtest`` output)."""
+        lines = [
+            f"loadtest: {self.requests} request(s) over "
+            f"{self.clients} client(s) in {self.duration_s:.2f}s "
+            f"({self.throughput_rps:.1f} req/s)",
+            f"  success:    {self.successes}/{self.requests} "
+            f"({self.success_rate:.1%})",
+            f"  latency:    p50 {self.p50_s * 1e3:.1f}ms, "
+            f"p95 {self.p95_s * 1e3:.1f}ms",
+            f"  cache hits: {self.cache_hits}/{self.successes} "
+            f"({self.hit_rate:.1%})",
+        ]
+        if self.verified or self.mismatches:
+            lines.append(
+                f"  verified:   {self.verified} scenario(s) byte-identical "
+                f"to the direct path, {len(self.mismatches)} mismatch(es)"
+            )
+        for err in self.errors[:5]:
+            lines.append(f"  error: {err}")
+        return "\n".join(lines)
+
+
+def run_loadtest(
+    host: str = DEFAULT_HOST,
+    port: int = DEFAULT_PORT,
+    *,
+    clients: int = 8,
+    requests: int = 64,
+    mix: list[dict[str, Any]] | None = None,
+    verify: bool = True,
+    timeout: float = 120.0,
+) -> LoadtestReport:
+    """Drive *requests* scheduling requests from *clients* threads.
+
+    Request *i* replays ``mix[i % len(mix)]``; requests are dealt
+    round-robin across client threads, so the traffic — and therefore
+    the server-side dedupe opportunity — is a pure function of
+    ``(clients, requests, mix)``.
+    """
+    if clients < 1:
+        raise ValueError(f"clients must be >= 1, got {clients}")
+    if requests < 1:
+        raise ValueError(f"requests must be >= 1, got {requests}")
+    mix = mix if mix is not None else default_mix()
+    assignments: list[list[tuple[int, dict[str, Any]]]] = [
+        [] for _ in range(min(clients, requests))
+    ]
+    for i in range(requests):
+        assignments[i % len(assignments)].append((i, mix[i % len(mix)]))
+
+    lock = threading.Lock()
+    latencies: list[float] = []
+    errors: list[str] = []
+    hits = 0
+    successes = 0
+    responses: dict[str, dict[str, Any]] = {}  # one per distinct scenario
+
+    def worker(batch: list[tuple[int, dict[str, Any]]]) -> None:
+        nonlocal hits, successes
+        client = ServiceClient(host, port, timeout=timeout)
+        for index, payload in batch:
+            t0 = time.perf_counter()
+            try:
+                doc = client.schedule(payload)
+                elapsed = time.perf_counter() - t0
+                result = doc["result"]
+            except (ServiceError, KeyError) as exc:
+                with lock:
+                    errors.append(f"request {index}: {exc}")
+                continue
+            with lock:
+                latencies.append(elapsed)
+                successes += 1
+                hits += bool(result.get("cached"))
+                responses.setdefault(json.dumps(payload, sort_keys=True), result)
+
+    threads = [
+        threading.Thread(target=worker, args=(batch,), daemon=True)
+        for batch in assignments
+    ]
+    t0 = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    duration = time.perf_counter() - t0
+
+    verified = 0
+    mismatches: list[str] = []
+    if verify:
+        for key, result in sorted(responses.items()):
+            request = ScheduleRequest.from_payload(json.loads(key))
+            expected = reference_payload(request)
+            if result.get("rendered") == expected["rendered"]:
+                verified += 1
+            else:
+                mismatches.append(
+                    f"{request.kernel} on {request.clusters}c/"
+                    f"{request.buses}b/l{request.latency}: rendered schedule "
+                    "differs from the direct execution path"
+                )
+
+    return LoadtestReport(
+        clients=clients,
+        requests=requests,
+        successes=successes,
+        duration_s=duration,
+        latencies_s=latencies,
+        cache_hits=hits,
+        errors=errors,
+        verified=verified,
+        mismatches=mismatches,
+    )

@@ -1,0 +1,727 @@
+"""The batch scheduling service: validated requests, jobs, and the queue.
+
+This module is the process-local heart of ``repro-vliw serve`` — the
+HTTP layer (:mod:`repro.service.server`) is a thin JSON adapter over it,
+and it is equally usable embedded (tests, benchmarks, notebooks):
+
+* :class:`ScheduleRequest` — one validated scheduling request: a named
+  kernel on a machine shape under a scheduler/policy/rule, optionally
+  simulated.  :meth:`ScheduleRequest.from_payload` is the single place
+  untrusted input is checked; everything past it works with
+  :class:`~repro.runner.scenario.ScenarioPoint` work units.
+* :class:`Job` — one queued unit of client work (a single request, a
+  batch of requests, or a named experiment grid) with a lifecycle of
+  ``queued -> running -> done | failed | cancelled``.
+* :class:`SchedulingService` — the long-lived engine.  A single
+  dispatcher thread drains the job queue, **coalesces every queued job
+  into one batch**, dedupes the batch's scenario points against an
+  in-process memo and the content-addressed on-disk
+  :class:`~repro.runner.cache.ResultCache`, and fans the misses out to
+  one shared spawn-context ``ProcessPoolExecutor`` via
+  :func:`repro.runner.engine.execute_points`.  Concurrent clients thus
+  reuse warm workers and warm caches instead of paying pool start-up
+  and re-scheduling per request.
+
+Dedupe layers, fastest first: in-batch (identical points across queued
+jobs execute once), in-process memo (bounded; serves repeat requests
+without touching disk), on-disk cache (shared with the CLI sweeps — a
+``repro-vliw fig8`` run pre-warms the service and vice versa).
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import queue
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..arch.configs import clustered_config, unified_config
+from ..codegen.vliw import render_schedule
+from ..core.selective import SelectiveRule, UnrollPolicy
+from ..errors import ServiceError
+from ..runner.cache import ResultCache
+from ..runner.engine import SCHEDULERS, execute_point, execute_points, make_worker_pool
+from ..runner.grids import GRIDS
+from ..runner.scenario import GridItem, PointResult, ScenarioPoint, scenario_for
+from ..workloads.kernels import kernel_loop, resolve_kernel
+
+__all__ = [
+    "Job",
+    "RequestError",
+    "ScheduleRequest",
+    "SchedulingService",
+    "ServiceClosed",
+    "reference_payload",
+]
+
+
+class RequestError(ServiceError):
+    """A request payload is malformed (the HTTP layer maps this to 400)."""
+
+
+class ServiceClosed(ServiceError):
+    """The service is shutting down and no longer accepts submissions."""
+
+
+#: Friendly spellings accepted for :class:`UnrollPolicy` values.
+POLICY_ALIASES = {
+    "none": UnrollPolicy.NONE.value,
+    "all": UnrollPolicy.ALL.value,
+    "selective": UnrollPolicy.SELECTIVE.value,
+}
+
+#: Friendly spellings accepted for :class:`SelectiveRule` values.
+RULE_ALIASES = {
+    "mii": SelectiveRule.MII_UNROLLED.value,
+}
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise RequestError(message)
+
+
+def _as_int(data: dict[str, Any], key: str, default: int) -> int:
+    value = data.get(key, default)
+    _require(
+        isinstance(value, int) and not isinstance(value, bool),
+        f"{key!r} must be an integer, got {value!r}",
+    )
+    return value
+
+
+@dataclass(frozen=True)
+class ScheduleRequest:
+    """One validated scheduling request (the unit clients submit).
+
+    Attributes mirror the ``repro-vliw schedule`` / ``simulate`` CLI
+    flags; :meth:`from_payload` maps the JSON body of ``POST /schedule``
+    onto them with full validation, so a constructed instance is always
+    executable.
+    """
+
+    kernel: str
+    clusters: int = 4
+    buses: int = 1
+    latency: int = 1
+    scheduler: str = "bsa"
+    policy: str = UnrollPolicy.NONE.value
+    rule: str = SelectiveRule.MII_UNROLLED.value
+    simulate: bool = False
+    niter: int = 100
+    miss_rate: float = 0.0
+    miss_penalty: int = 10
+    seed: int = 0
+
+    #: Payload keys accepted by :meth:`from_payload` (anything else is a
+    #: typo worth rejecting loudly rather than silently ignoring).
+    FIELDS = (
+        "kernel",
+        "clusters",
+        "buses",
+        "latency",
+        "scheduler",
+        "policy",
+        "rule",
+        "simulate",
+        "niter",
+        "miss_rate",
+        "miss_penalty",
+        "seed",
+    )
+
+    @classmethod
+    def from_payload(cls, data: dict[str, Any]) -> "ScheduleRequest":
+        """Validate one JSON request body into a :class:`ScheduleRequest`.
+
+        Raises
+        ------
+        RequestError
+            On any unknown key, missing kernel, unknown scheduler /
+            policy / rule, or out-of-range numeric field.
+        """
+        _require(isinstance(data, dict), "request must be a JSON object")
+        unknown = sorted(set(data) - set(cls.FIELDS))
+        _require(not unknown, f"unknown request field(s): {unknown}")
+        kernel = data.get("kernel")
+        _require(
+            isinstance(kernel, str) and bool(kernel),
+            "'kernel' (a kernel name or alias) is required",
+        )
+        try:
+            canonical_kernel, _ = resolve_kernel(kernel)
+        except KeyError as exc:
+            raise RequestError(str(exc.args[0])) from None
+
+        clusters = _as_int(data, "clusters", cls.clusters)
+        buses = _as_int(data, "buses", cls.buses)
+        latency = _as_int(data, "latency", cls.latency)
+        _require(clusters >= 1, f"'clusters' must be >= 1, got {clusters}")
+        _require(buses >= 1, f"'buses' must be >= 1, got {buses}")
+        _require(latency >= 1, f"'latency' must be >= 1, got {latency}")
+
+        scheduler = data.get("scheduler", cls.scheduler)
+        _require(
+            scheduler in SCHEDULERS,
+            f"unknown scheduler {scheduler!r}; known: {sorted(SCHEDULERS)}",
+        )
+        policy = data.get("policy", cls.policy)
+        policy = POLICY_ALIASES.get(policy, policy)
+        try:
+            policy = UnrollPolicy(policy).value
+        except ValueError:
+            known = sorted(
+                [p.value for p in UnrollPolicy] + list(POLICY_ALIASES)
+            )
+            raise RequestError(
+                f"unknown policy {data.get('policy')!r}; known: {known}"
+            ) from None
+        rule = data.get("rule", cls.rule)
+        rule = RULE_ALIASES.get(rule, rule)
+        try:
+            rule = SelectiveRule(rule).value
+        except ValueError:
+            known = sorted([r.value for r in SelectiveRule] + list(RULE_ALIASES))
+            raise RequestError(
+                f"unknown rule {data.get('rule')!r}; known: {known}"
+            ) from None
+
+        simulate = data.get("simulate", False)
+        _require(
+            isinstance(simulate, bool), "'simulate' must be true or false"
+        )
+        niter = _as_int(data, "niter", cls.niter)
+        _require(niter >= 1, f"'niter' must be >= 1, got {niter}")
+        miss_rate = data.get("miss_rate", cls.miss_rate)
+        _require(
+            isinstance(miss_rate, (int, float))
+            and not isinstance(miss_rate, bool)
+            and 0.0 <= float(miss_rate) < 1.0,
+            f"'miss_rate' must be in [0, 1), got {miss_rate!r}",
+        )
+        miss_penalty = _as_int(data, "miss_penalty", cls.miss_penalty)
+        _require(
+            miss_penalty >= 0, f"'miss_penalty' must be >= 0, got {miss_penalty}"
+        )
+        seed = _as_int(data, "seed", cls.seed)
+        return cls(
+            kernel=canonical_kernel,
+            clusters=clusters,
+            buses=buses,
+            latency=latency,
+            scheduler=scheduler,
+            policy=policy,
+            rule=rule,
+            simulate=simulate,
+            niter=niter,
+            miss_rate=float(miss_rate),
+            miss_penalty=miss_penalty,
+            seed=seed,
+        )
+
+    # ------------------------------------------------------------------
+    def config(self):
+        """The machine configuration this request targets."""
+        if self.clusters == 1:
+            return unified_config()
+        return clustered_config(self.clusters, self.buses, self.latency)
+
+    def grid_item(self) -> GridItem:
+        """The ``(ScenarioPoint, Loop)`` work unit for this request."""
+        loop = kernel_loop(self.kernel, trip_count=self.niter)
+        point = scenario_for(
+            loop,
+            self.config(),
+            self.scheduler,
+            UnrollPolicy(self.policy),
+            SelectiveRule(self.rule),
+            simulate=self.simulate,
+            niter=self.niter,
+            miss_rate=self.miss_rate,
+            miss_penalty=self.miss_penalty,
+            seed=self.seed,
+        )
+        return point, loop
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready form (what the client sends over the wire)."""
+        return {name: getattr(self, name) for name in self.FIELDS}
+
+
+# ---------------------------------------------------------------------------
+# Result payloads
+# ---------------------------------------------------------------------------
+def result_payload(point: ScenarioPoint, result: PointResult) -> dict[str, Any]:
+    """The JSON body describing one executed scenario point.
+
+    ``rendered`` is byte-identical to the stdout of the direct
+    ``repro-vliw schedule`` CLI path (``describe`` + blank line + VLIW
+    listing) — the loadtest's byte-identity check and the ``submit``
+    verb both rely on that.
+    """
+    loop_result = result.loop_result()
+    sched = loop_result.schedule
+    payload: dict[str, Any] = {
+        "point": json.loads(point.canonical()),
+        "kernel": point.loop,
+        "ii": sched.ii,
+        "stage_count": sched.stage_count,
+        "unroll_factor": result.unroll_factor,
+        "policy": result.policy,
+        "fallback": result.fallback,
+        "rendered": f"{sched.describe()}\n\n{render_schedule(sched)}",
+        "schedule": result.schedule,
+        "sim": result.sim.to_dict() if result.sim is not None else None,
+    }
+    return payload
+
+
+def reference_payload(request: ScheduleRequest) -> dict[str, Any]:
+    """Execute *request* directly (no service, no cache) for comparison.
+
+    The loadtest's ``--verify`` mode uses this as the ground truth the
+    service's responses must match byte-for-byte.
+    """
+    point, loop = request.grid_item()
+    return result_payload(point, execute_point(point, loop))
+
+
+# ---------------------------------------------------------------------------
+# Jobs
+# ---------------------------------------------------------------------------
+@dataclass
+class Job:
+    """One queued unit of client work and its lifecycle.
+
+    ``kind`` is ``"schedule"`` (one request), ``"sweep"`` (a batch of
+    requests) or ``"grid"`` (a named experiment grid).  Results appear
+    on the job when it reaches ``done``: per-request payloads for point
+    jobs, rendered tables for grid jobs.
+    """
+
+    id: str
+    kind: str
+    requests: list[ScheduleRequest] = field(default_factory=list)
+    grid: str | None = None
+    quick: bool = False
+    jobs: int | None = None
+    status: str = "queued"
+    created_unix: float = field(default_factory=time.time)
+    started_unix: float | None = None
+    finished_unix: float | None = None
+    results: list[dict[str, Any]] | None = None
+    output: str | None = None
+    error: str | None = None
+    _done: threading.Event = field(default_factory=threading.Event, repr=False)
+
+    def wait(self, timeout: float | None = None) -> bool:
+        """Block until the job leaves the queue/running states."""
+        return self._done.wait(timeout)
+
+    @property
+    def finished(self) -> bool:
+        return self.status in ("done", "failed", "cancelled")
+
+    def snapshot(self, *, include_results: bool = True) -> dict[str, Any]:
+        """JSON-ready view of the job (the ``GET /jobs/<id>`` body)."""
+        doc: dict[str, Any] = {
+            "job": self.id,
+            "kind": self.kind,
+            "status": self.status,
+            "created_unix": self.created_unix,
+            "started_unix": self.started_unix,
+            "finished_unix": self.finished_unix,
+            "requests": len(self.requests) if self.kind != "grid" else None,
+            "grid": self.grid,
+            "error": self.error,
+        }
+        if include_results and self.status == "done":
+            if self.kind == "grid":
+                doc["output"] = self.output
+            else:
+                doc["results"] = self.results
+        return doc
+
+    # ------------------------------------------------------------------
+    def _finish(self, status: str, *, error: str | None = None) -> None:
+        self.status = status
+        self.error = error
+        self.finished_unix = time.time()
+        self._done.set()
+
+
+# ---------------------------------------------------------------------------
+# The service
+# ---------------------------------------------------------------------------
+class SchedulingService:
+    """Long-lived batch scheduler over the cache-backed runner.
+
+    Parameters
+    ----------
+    cache:
+        Shared on-disk result cache (``None`` disables persistence; the
+        in-process memo still dedupes repeat requests).
+    workers:
+        Worker processes in the shared pool.  ``0`` executes every miss
+        in-process (no pool — the low-latency single-tenant setting and
+        the test default); the pool is created lazily on the first batch
+        that can use it and reused for every batch after.
+    memo_limit:
+        Bound on the in-process payload memo; when full, the memo is
+        reset (the on-disk cache still serves those points).
+    job_limit:
+        Bound on retained jobs: when the registry exceeds it, the
+        oldest *finished* jobs (and their result payloads) are evicted,
+        so a long-lived service under sustained traffic does not grow
+        without bound.  Evicted job ids answer 404 on ``GET /jobs/<id>``;
+        in-flight jobs are never evicted.
+    """
+
+    def __init__(
+        self,
+        *,
+        cache: ResultCache | None = None,
+        workers: int = 2,
+        memo_limit: int = 4096,
+        job_limit: int = 1024,
+    ):
+        self.cache = cache
+        self.workers = max(0, workers)
+        self.memo_limit = memo_limit
+        self.job_limit = max(1, job_limit)
+        self.started_unix = time.time()
+
+        self._queue: queue.Queue[Job] = queue.Queue()
+        self._jobs: dict[str, Job] = {}
+        self._memo: dict[str, dict[str, Any]] = {}
+        self._pool = None
+        self._lock = threading.Lock()
+        self._ids = itertools.count(1)
+        self._stopping = False
+        self._closed = threading.Event()
+
+        # Counters (under _lock).
+        self._requests_total = 0
+        self._points_executed = 0
+        self._points_cached = 0
+        self._batches = 0
+
+        self._dispatcher = threading.Thread(
+            target=self._dispatch_loop, name="repro-service-dispatcher",
+            daemon=True,
+        )
+        self._dispatcher.start()
+
+    # ------------------------------------------------------------------
+    # Submission API
+    # ------------------------------------------------------------------
+    def submit_schedule(self, request: ScheduleRequest) -> Job:
+        """Queue one scheduling request; returns the (pending) job."""
+        return self._enqueue(Job(self._next_id(), "schedule", [request]))
+
+    def submit_sweep(self, requests: list[ScheduleRequest]) -> Job:
+        """Queue a batch of scheduling requests as one job."""
+        if not requests:
+            raise RequestError("'requests' must be a non-empty list")
+        return self._enqueue(Job(self._next_id(), "sweep", list(requests)))
+
+    def submit_grid(
+        self, grid: str, *, quick: bool = False, jobs: int | None = None
+    ) -> Job:
+        """Queue a named experiment grid (``repro-vliw sweep`` as a job)."""
+        if grid not in GRIDS:
+            raise RequestError(
+                f"unknown grid {grid!r}; known: {sorted(GRIDS)}"
+            )
+        return self._enqueue(
+            Job(self._next_id(), "grid", grid=grid, quick=quick, jobs=jobs)
+        )
+
+    def job(self, job_id: str) -> Job | None:
+        """Look up a job by id (``None`` when unknown)."""
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    # ------------------------------------------------------------------
+    def _next_id(self) -> str:
+        return f"j{next(self._ids):05d}"
+
+    def _enqueue(self, job: Job) -> Job:
+        with self._lock:
+            if self._stopping:
+                raise ServiceClosed("service is shutting down")
+            self._jobs[job.id] = job
+            self._requests_total += len(job.requests) if job.kind != "grid" else 1
+            self._evict_finished_jobs()
+        self._queue.put(job)
+        return job
+
+    def _evict_finished_jobs(self) -> None:
+        """Drop the oldest finished jobs once past ``job_limit`` (locked).
+
+        Dicts iterate in insertion order, so the oldest submissions are
+        examined first; queued/running jobs are always retained.
+        """
+        excess = len(self._jobs) - self.job_limit
+        if excess <= 0:
+            return
+        stale = [
+            job_id
+            for job_id, job in self._jobs.items()
+            if job.finished
+        ][:excess]
+        for job_id in stale:
+            del self._jobs[job_id]
+
+    # ------------------------------------------------------------------
+    # Stats / health
+    # ------------------------------------------------------------------
+    def stats(self) -> dict[str, Any]:
+        """The ``GET /stats`` body: queue, dedupe and cache accounting."""
+        with self._lock:
+            by_status: dict[str, int] = {}
+            for job in self._jobs.values():
+                by_status[job.status] = by_status.get(job.status, 0) + 1
+            points_total = self._points_executed + self._points_cached
+            doc = {
+                "uptime_s": time.time() - self.started_unix,
+                "workers": self.workers,
+                "pool_live": self._pool is not None,
+                "queue_depth": self._queue.qsize(),
+                "jobs": by_status,
+                "requests_total": self._requests_total,
+                "batches": self._batches,
+                "points_executed": self._points_executed,
+                "points_cached": self._points_cached,
+                "hit_rate": (
+                    self._points_cached / points_total if points_total else 0.0
+                ),
+                "memo_entries": len(self._memo),
+            }
+        if self.cache is not None:
+            doc["cache"] = {
+                "root": str(self.cache.root),
+                "hits": self.cache.hits,
+                "misses": self.cache.misses,
+                "writes": self.cache.writes,
+            }
+        else:
+            doc["cache"] = None
+        return doc
+
+    def healthz(self) -> dict[str, Any]:
+        """The ``GET /healthz`` body."""
+        status = "stopping" if self._stopping else "ok"
+        return {
+            "status": status,
+            "uptime_s": time.time() - self.started_unix,
+            "queue_depth": self._queue.qsize(),
+        }
+
+    # ------------------------------------------------------------------
+    # Shutdown
+    # ------------------------------------------------------------------
+    def close(self, *, timeout: float = 30.0) -> None:
+        """Stop accepting work, cancel queued jobs, drain, shut the pool.
+
+        The batch in flight (if any) is allowed to finish — its results
+        land in the cache and its jobs complete normally; jobs still
+        queued are marked ``cancelled`` and their waiters released.
+        Idempotent and safe to call from any thread.
+        """
+        with self._lock:
+            first_closer = not self._stopping
+            if first_closer:
+                self._stopping = True
+                for job in self._jobs.values():
+                    if job.status == "queued":
+                        job._finish("cancelled", error="service shut down")
+        # Never wait while holding the lock: the dispatcher needs it to
+        # finish the batch in flight that this join is waiting on.
+        if not first_closer:
+            self._closed.wait(timeout)
+            return
+        self._dispatcher.join(timeout)
+        self._closed.set()
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+    # ------------------------------------------------------------------
+    # Dispatcher
+    # ------------------------------------------------------------------
+    def _dispatch_loop(self) -> None:
+        while True:
+            try:
+                job = self._queue.get(timeout=0.05)
+            except queue.Empty:
+                if self._stopping:
+                    return
+                continue
+            batch = [job]
+            while True:
+                try:
+                    batch.append(self._queue.get_nowait())
+                except queue.Empty:
+                    break
+            live = [j for j in batch if j.status == "queued"]
+            if not live:
+                continue
+            point_jobs = [j for j in live if j.kind in ("schedule", "sweep")]
+            grid_jobs = [j for j in live if j.kind == "grid"]
+            if point_jobs:
+                try:
+                    self._run_point_jobs(point_jobs)
+                except Exception as exc:  # noqa: BLE001 - dispatcher must survive
+                    for j in point_jobs:
+                        if not j.finished:
+                            j._finish("failed", error=f"{type(exc).__name__}: {exc}")
+            for j in grid_jobs:
+                try:
+                    self._run_grid_job(j)
+                except Exception as exc:  # noqa: BLE001 - dispatcher must survive
+                    self._discard_pool_if_broken(exc)
+                    if not j.finished:
+                        j._finish("failed", error=f"{type(exc).__name__}: {exc}")
+
+    # ------------------------------------------------------------------
+    def _ensure_pool(self):
+        if self.workers <= 0:
+            return None
+        if self._pool is None:
+            self._pool = make_worker_pool(self.workers)
+        return self._pool
+
+    def _discard_pool_if_broken(self, exc: Exception) -> None:
+        """Replace a crashed executor on the next batch.
+
+        A worker dying (OOM kill, segfault) leaves the executor
+        permanently broken; keeping it would fail every future batch
+        while ``/healthz`` still reports ok.  Discarding it makes the
+        next batch lazily create a fresh pool.
+        """
+        from concurrent.futures import BrokenExecutor
+
+        if isinstance(exc, BrokenExecutor) and self._pool is not None:
+            pool, self._pool = self._pool, None
+            pool.shutdown(wait=False)
+
+    def _memo_put(self, key: str, payload: dict[str, Any]) -> None:
+        if len(self._memo) >= self.memo_limit:
+            self._memo.clear()
+        self._memo[key] = payload
+
+    def _run_point_jobs(self, jobs: list[Job]) -> None:
+        """Execute one coalesced batch of schedule/sweep jobs."""
+        now = time.time()
+        for job in jobs:
+            job.status = "running"
+            job.started_unix = now
+
+        # Dedupe the whole batch down to distinct scenario points.
+        unique: dict[str, GridItem] = {}
+        order: list[tuple[Job, list[str]]] = []
+        for job in jobs:
+            keys = []
+            for request in job.requests:
+                point, loop = request.grid_item()
+                key = point.canonical()
+                unique.setdefault(key, (point, loop))
+                keys.append(key)
+            order.append((job, keys))
+
+        # Serve what we can from the memo and the on-disk cache.
+        payloads: dict[str, dict[str, Any]] = {}
+        cached_keys: set[str] = set()
+        misses: list[tuple[str, GridItem]] = []
+        for key, (point, loop) in unique.items():
+            hit = self._memo.get(key)
+            if hit is None and self.cache is not None:
+                result = self.cache.get(point)
+                if result is not None:
+                    hit = result_payload(point, result)
+                    self._memo_put(key, hit)
+            if hit is not None:
+                payloads[key] = hit
+                cached_keys.add(key)
+            else:
+                misses.append((key, (point, loop)))
+
+        # Fan the misses out to the shared worker pool.  A failure is
+        # isolated per point: one bad scenario must not fail unrelated
+        # concurrent clients coalesced into the same batch.
+        failed: dict[str, str] = {}
+        if misses:
+            pool = self._ensure_pool() if len(misses) > 1 else None
+            width = min(self.workers, len(misses)) if pool is not None else 1
+            try:
+                executed = execute_points(
+                    misses, jobs=width, pool=pool, cache=self.cache
+                )
+            except Exception as exc:  # noqa: BLE001 - degrade per point
+                self._discard_pool_if_broken(exc)
+                executed = {}
+                for item in misses:
+                    try:
+                        executed.update(
+                            execute_points([item], jobs=1, cache=self.cache)
+                        )
+                    except Exception as point_exc:  # noqa: BLE001
+                        failed[item[0]] = (
+                            f"{type(point_exc).__name__}: {point_exc}"
+                        )
+            for key, result in executed.items():
+                point, _loop = unique[key]
+                payload = result_payload(point, result)
+                payloads[key] = payload
+                self._memo_put(key, payload)
+
+        with self._lock:
+            self._batches += 1
+            self._points_executed += len(misses) - len(failed)
+            self._points_cached += len(cached_keys)
+
+        # Hand every job its per-request results, in request order.
+        seen: set[str] = set()
+        for job, keys in order:
+            broken = [key for key in keys if key in failed]
+            if broken:
+                job._finish("failed", error=failed[broken[0]])
+                continue
+            results = []
+            for key in keys:
+                cached = key in cached_keys or key in seen
+                seen.add(key)
+                results.append(dict(payloads[key], cached=cached))
+            job.results = results
+            job._finish("done")
+
+    def _run_grid_job(self, job: Job) -> None:
+        """Execute one named experiment grid through the shared pool."""
+        from ..experiments.common import ExperimentContext
+
+        job.status = "running"
+        job.started_unix = time.time()
+        # A workers=0 service executes in-process by contract: a client
+        # asking for jobs>1 must not force an ephemeral pool into being.
+        if self.workers <= 0:
+            width = 1
+        else:
+            width = job.jobs if job.jobs is not None else self.workers
+        ctx = ExperimentContext(
+            cache=self.cache,
+            jobs=width,
+            pool=self._ensure_pool() if width > 1 else None,
+        )
+        spec = GRIDS[job.grid]
+        job.output = spec.run(ctx, job.quick)
+        with self._lock:
+            self._batches += 1
+            self._points_executed += ctx.stats.executed
+            self._points_cached += ctx.stats.cached
+        job._finish("done")
+
+

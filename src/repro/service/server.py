@@ -1,0 +1,225 @@
+"""JSON-over-HTTP front end for the scheduling service.
+
+A deliberately dependency-free layer: stdlib
+:class:`~http.server.ThreadingHTTPServer` (one handler thread per
+connection) over one shared :class:`~repro.service.core.SchedulingService`.
+Handler threads only validate, enqueue and wait — all scheduling work
+happens on the service's dispatcher/pool, so slow requests never block
+health checks.
+
+Routes::
+
+    POST /schedule   one scheduling request        -> result (or job id)
+    POST /sweep      {"requests": [...]} batch, or {"grid": name, ...}
+    GET  /jobs/<id>  job status + results when done
+    GET  /healthz    liveness probe
+    GET  /stats      queue / dedupe / cache counters
+
+``POST`` bodies accept ``"wait"`` (default ``true``: block until the job
+completes and inline its results) and ``"timeout_s"`` (default 300; on
+expiry the response is ``202`` with the job id, and the client polls
+``/jobs/<id>``).  Errors are JSON too: ``{"error": ...}`` with 400 for
+malformed requests, 404 for unknown routes/jobs, 503 while shutting
+down.
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any
+
+from .. import __version__
+from .core import Job, RequestError, ScheduleRequest, SchedulingService, ServiceClosed
+
+#: Default bind address of ``repro-vliw serve``.
+DEFAULT_HOST = "127.0.0.1"
+
+#: Default port of ``repro-vliw serve`` (and the client's default).
+DEFAULT_PORT = 8537
+
+#: Ceiling on accepted request bodies (a sweep of a few thousand
+#: requests fits comfortably; anything bigger is a client bug).
+MAX_BODY_BYTES = 8 * 1024 * 1024
+
+#: Default seconds a waiting POST blocks before falling back to 202+poll.
+DEFAULT_WAIT_TIMEOUT_S = 300.0
+
+
+class ServiceServer(ThreadingHTTPServer):
+    """A :class:`ThreadingHTTPServer` bound to one scheduling service."""
+
+    daemon_threads = True
+
+    def __init__(
+        self,
+        service: SchedulingService,
+        host: str = DEFAULT_HOST,
+        port: int = DEFAULT_PORT,
+        *,
+        quiet: bool = True,
+    ):
+        self.service = service
+        self.quiet = quiet
+        super().__init__((host, port), _Handler)
+
+    @property
+    def port(self) -> int:
+        """The bound port (useful with ``port=0`` ephemeral binds)."""
+        return self.server_address[1]
+
+    @property
+    def url(self) -> str:
+        host = self.server_address[0]
+        return f"http://{host}:{self.port}"
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server_version = f"repro-vliw-service/{__version__}"
+    protocol_version = "HTTP/1.1"
+
+    # ------------------------------------------------------------------
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        if not getattr(self.server, "quiet", True):  # pragma: no cover
+            super().log_message(format, *args)
+
+    @property
+    def service(self) -> SchedulingService:
+        return self.server.service  # type: ignore[attr-defined]
+
+    def _send_json(self, code: int, payload: dict[str, Any]) -> None:
+        body = json.dumps(payload).encode()
+        self.send_response(code)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_body(self) -> dict[str, Any]:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length <= 0:
+            raise RequestError("a JSON request body is required")
+        if length > MAX_BODY_BYTES:
+            # The unread body would corrupt keep-alive framing for the
+            # next request on this connection; drop the connection.
+            self.close_connection = True
+            raise RequestError(
+                f"request body too large ({length} > {MAX_BODY_BYTES} bytes)"
+            )
+        raw = self.rfile.read(length)
+        try:
+            data = json.loads(raw)
+        except ValueError:
+            raise RequestError("request body is not valid JSON") from None
+        if not isinstance(data, dict):
+            raise RequestError("request body must be a JSON object")
+        return data
+
+    # ------------------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        if path == "/healthz":
+            self._send_json(200, self.service.healthz())
+        elif path == "/stats":
+            self._send_json(200, self.service.stats())
+        elif path.startswith("/jobs/"):
+            job_id = path[len("/jobs/"):]
+            job = self.service.job(job_id)
+            if job is None:
+                self._send_json(404, {"error": f"unknown job {job_id!r}"})
+            else:
+                self._send_json(200, job.snapshot())
+        else:
+            self._send_json(404, {"error": f"unknown path {self.path!r}"})
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        path = self.path.split("?", 1)[0].rstrip("/")
+        if path not in ("/schedule", "/sweep"):
+            # Unknown routes are 404 regardless of body validity (and
+            # the body must still be drained for HTTP/1.1 keep-alive).
+            self.rfile.read(int(self.headers.get("Content-Length") or 0))
+            self._send_json(404, {"error": f"unknown path {self.path!r}"})
+            return
+        try:
+            data = self._read_body()
+            if path == "/schedule":
+                self._post_schedule(data)
+            else:
+                self._post_sweep(data)
+        except RequestError as exc:
+            self._send_json(400, {"error": str(exc)})
+        except ServiceClosed as exc:
+            self._send_json(503, {"error": str(exc)})
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _wait_params(data: dict[str, Any]) -> tuple[bool, float]:
+        wait = data.pop("wait", True)
+        if not isinstance(wait, bool):
+            raise RequestError("'wait' must be true or false")
+        timeout = data.pop("timeout_s", DEFAULT_WAIT_TIMEOUT_S)
+        if not isinstance(timeout, (int, float)) or timeout <= 0:
+            raise RequestError("'timeout_s' must be a positive number")
+        return wait, float(timeout)
+
+    def _respond_job(self, job: Job, wait: bool, timeout: float) -> None:
+        if not wait:
+            self._send_json(202, job.snapshot(include_results=False))
+            return
+        job.wait(timeout)
+        doc = job.snapshot()
+        if job.status == "done":
+            self._send_json(200, doc)
+        elif job.status in ("queued", "running"):
+            self._send_json(202, doc)  # poll /jobs/<id>
+        else:  # failed / cancelled
+            self._send_json(500, doc)
+
+    def _post_schedule(self, data: dict[str, Any]) -> None:
+        wait, timeout = self._wait_params(data)
+        request = ScheduleRequest.from_payload(data)
+        job = self.service.submit_schedule(request)
+        if not wait:
+            self._send_json(202, job.snapshot(include_results=False))
+            return
+        job.wait(timeout)
+        doc = job.snapshot(include_results=False)
+        if job.status == "done":
+            doc["result"] = job.results[0]
+            self._send_json(200, doc)
+        elif job.status in ("queued", "running"):
+            self._send_json(202, doc)
+        else:
+            self._send_json(500, doc)
+
+    def _post_sweep(self, data: dict[str, Any]) -> None:
+        wait, timeout = self._wait_params(data)
+        grid = data.pop("grid", None)
+        if grid is not None:
+            if data.get("requests") is not None:
+                raise RequestError("'grid' and 'requests' are mutually exclusive")
+            quick = data.pop("quick", False)
+            if not isinstance(quick, bool):
+                raise RequestError("'quick' must be true or false")
+            jobs = data.pop("jobs", None)
+            if jobs is not None and (
+                not isinstance(jobs, int) or isinstance(jobs, bool) or jobs < 1
+            ):
+                raise RequestError("'jobs' must be a positive integer")
+            unknown = sorted(set(data))
+            if unknown:
+                raise RequestError(f"unknown request field(s): {unknown}")
+            job = self.service.submit_grid(grid, quick=quick, jobs=jobs)
+            self._respond_job(job, wait, timeout)
+            return
+        requests = data.pop("requests", None)
+        if not isinstance(requests, list) or not requests:
+            raise RequestError(
+                "'requests' (a non-empty list) or 'grid' is required"
+            )
+        unknown = sorted(set(data))
+        if unknown:
+            raise RequestError(f"unknown request field(s): {unknown}")
+        parsed = [ScheduleRequest.from_payload(item) for item in requests]
+        job = self.service.submit_sweep(parsed)
+        self._respond_job(job, wait, timeout)

@@ -33,6 +33,7 @@ from repro.runner import (
     PointResult,
     ResultCache,
     execute_point,
+    execute_points,
     run_sweep,
     scenario_for,
 )
@@ -222,6 +223,62 @@ class TestRunSweep:
         assert serial.keys() == parallel.keys()
         for key in serial:
             assert serial[key].to_dict() == parallel[key].to_dict()
+
+
+class TestExecutePoints:
+    """The execution core shared by run_sweep and the scheduling service."""
+
+    def misses(self):
+        suite = small_suite()
+        items = suite_grid(suite, two_cluster_config(), "bsa", UnrollPolicy.NONE)
+        return [(point.canonical(), (point, loop)) for point, loop in items]
+
+    def test_serial_matches_sharded(self):
+        misses = self.misses()
+        serial = execute_points(misses, jobs=1)
+        sharded = execute_points(misses, jobs=3)
+        assert serial.keys() == sharded.keys()
+        for key in serial:
+            assert serial[key].to_dict() == sharded[key].to_dict()
+
+    def test_injected_pool_is_reused_not_closed(self, cache):
+        from repro.runner import make_worker_pool
+
+        misses = self.misses()
+        serial = execute_points(misses, jobs=1)
+        pool = make_worker_pool(2)
+        try:
+            first = execute_points(misses, jobs=2, pool=pool, cache=cache)
+            # the pool must survive the call: run a second batch on it
+            second = execute_points(misses, jobs=2, pool=pool)
+            for results in (first, second):
+                assert results.keys() == serial.keys()
+                for key in serial:
+                    assert serial[key].to_dict() == results[key].to_dict()
+            # pooled workers persisted their results to the shared cache
+            for _key, (point, _loop) in misses:
+                assert cache.get(point) is not None
+        finally:
+            pool.shutdown(wait=True)
+
+    def test_run_sweep_accepts_injected_pool(self, cache):
+        from repro.runner import make_worker_pool
+
+        suite = small_suite()
+        items = suite_grid(suite, two_cluster_config(), "bsa", UnrollPolicy.NONE)
+        baseline, _ = run_sweep(items)
+        pool = make_worker_pool(2)
+        try:
+            pooled, stats = run_sweep(items, jobs=2, pool=pool, cache=cache)
+            assert stats.executed == len(items)
+            assert baseline.keys() == pooled.keys()
+            for key in baseline:
+                assert baseline[key].to_dict() == pooled[key].to_dict()
+        finally:
+            pool.shutdown(wait=True)
+
+    def test_empty_misses(self):
+        assert execute_points([]) == {}
 
 
 class TestFig8ThroughRunner:

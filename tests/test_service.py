@@ -1,0 +1,540 @@
+"""End-to-end tests for the batch scheduling service (repro.service).
+
+Covers the acceptance criteria of the service work:
+
+* correctness: responses are byte-identical to the direct CLI
+  ``schedule`` path, for every scenario in the loadtest mix;
+* dedupe: repeated submissions are served from the memo/cache and say
+  so; batches dedupe identical points across concurrent jobs;
+* concurrency: parallel clients all succeed and agree;
+* lifecycle: async submit + polling, error mapping (400/404/503),
+  graceful shutdown with a job in flight.
+
+Every test runs over a real HTTP server on an ephemeral port — the
+stdlib client in :mod:`repro.service.client` is the only transport.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro.cli import main
+from repro.errors import ServiceError
+from repro.runner import ResultCache
+from repro.runner.grids import GRIDS, GridSpec
+from repro.service import (
+    ClientError,
+    RequestError,
+    ScheduleRequest,
+    SchedulingService,
+    ServiceClient,
+    ServiceClosed,
+    ServiceServer,
+    default_mix,
+    reference_payload,
+    run_loadtest,
+)
+from repro.service.core import result_payload
+
+
+@pytest.fixture()
+def service(tmp_path):
+    svc = SchedulingService(
+        cache=ResultCache(tmp_path / "svc-cache", code_version="test-svc"),
+        workers=0,
+    )
+    yield svc
+    svc.close()
+
+
+@pytest.fixture()
+def server(service):
+    srv = ServiceServer(service, port=0)
+    thread = threading.Thread(target=srv.serve_forever, daemon=True)
+    thread.start()
+    yield srv
+    srv.shutdown()
+    srv.server_close()
+
+
+@pytest.fixture()
+def client(server):
+    return ServiceClient(port=server.port, timeout=60.0)
+
+
+# ---------------------------------------------------------------------------
+# Request validation
+# ---------------------------------------------------------------------------
+class TestScheduleRequest:
+    def test_defaults_and_aliases(self):
+        req = ScheduleRequest.from_payload(
+            {"kernel": "dot_product", "policy": "none"}
+        )
+        assert req.kernel == "dot"  # canonicalised
+        assert req.policy == "no-unrolling"
+        assert req.clusters == 4 and req.buses == 1
+
+    def test_unknown_kernel(self):
+        with pytest.raises(RequestError, match="unknown kernel"):
+            ScheduleRequest.from_payload({"kernel": "nope"})
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(RequestError, match="unknown request field"):
+            ScheduleRequest.from_payload({"kernel": "dot", "cluster": 4})
+
+    def test_unknown_policy(self):
+        with pytest.raises(RequestError, match="unknown policy"):
+            ScheduleRequest.from_payload({"kernel": "dot", "policy": "twice"})
+
+    def test_unknown_scheduler(self):
+        with pytest.raises(RequestError, match="unknown scheduler"):
+            ScheduleRequest.from_payload({"kernel": "dot", "scheduler": "xyz"})
+
+    def test_numeric_validation(self):
+        with pytest.raises(RequestError, match="'clusters'"):
+            ScheduleRequest.from_payload({"kernel": "dot", "clusters": 0})
+        with pytest.raises(RequestError, match="'clusters'"):
+            ScheduleRequest.from_payload({"kernel": "dot", "clusters": True})
+        with pytest.raises(RequestError, match="'miss_rate'"):
+            ScheduleRequest.from_payload({"kernel": "dot", "miss_rate": 1.5})
+
+    def test_niter_irrelevant_without_simulation(self):
+        a, _ = ScheduleRequest.from_payload({"kernel": "dot"}).grid_item()
+        b, _ = ScheduleRequest.from_payload(
+            {"kernel": "dot", "niter": 999}
+        ).grid_item()
+        assert a.canonical() == b.canonical()
+
+
+# ---------------------------------------------------------------------------
+# Service core (through HTTP)
+# ---------------------------------------------------------------------------
+class TestScheduleEndpoint:
+    def test_roundtrip_and_dedupe(self, client, service):
+        first = client.schedule({"kernel": "daxpy"})
+        assert first["status"] == "done"
+        assert first["result"]["cached"] is False
+        assert first["result"]["ii"] >= 1
+        second = client.schedule({"kernel": "daxpy"})
+        assert second["result"]["cached"] is True
+        assert second["result"]["rendered"] == first["result"]["rendered"]
+        stats = client.stats()
+        assert stats["points_executed"] == 1
+        assert stats["points_cached"] >= 1
+
+    def test_matches_direct_runner_byte_for_byte(self, client):
+        request = ScheduleRequest.from_payload(
+            {"kernel": "fir4", "clusters": 2}
+        )
+        via_service = client.schedule(request)["result"]
+        direct = reference_payload(request)
+        assert via_service["rendered"] == direct["rendered"]
+        assert via_service["schedule"] == direct["schedule"]
+
+    def test_matches_cli_schedule_stdout(self, server, capsys):
+        main(["schedule", "dot", "--clusters", "4"])
+        expected = capsys.readouterr().out
+        main(["submit", "dot", "--clusters", "4", "--port", str(server.port)])
+        assert capsys.readouterr().out == expected
+
+    def test_simulated_request(self, client):
+        doc = client.schedule(
+            {"kernel": "daxpy", "clusters": 2, "simulate": True, "niter": 50}
+        )
+        sim = doc["result"]["sim"]
+        assert sim is not None
+        assert sim["simulated_cycles"] == sim["analytic_cycles"]
+
+    def test_disk_cache_survives_memo_wipe(self, client, service):
+        client.schedule({"kernel": "vadd"})
+        service._memo.clear()  # simulate a memo reset; disk must serve it
+        doc = client.schedule({"kernel": "vadd"})
+        assert doc["result"]["cached"] is True
+
+    def test_async_submit_and_poll(self, client):
+        doc = client.schedule({"kernel": "hydro"}, wait=False)
+        assert doc["status"] in ("queued", "running", "done")
+        final = client.poll_job(doc["job"], timeout=60.0)
+        assert final["status"] == "done"
+        assert final["results"][0]["kernel"] == "hydro"
+
+
+class TestSweepEndpoint:
+    def test_batch_matches_individual(self, client):
+        batch = [
+            {"kernel": "dot"},
+            {"kernel": "daxpy", "clusters": 2},
+            {"kernel": "dot"},  # duplicate inside one job
+        ]
+        doc = client.sweep(batch)
+        assert doc["status"] == "done"
+        results = doc["results"]
+        assert len(results) == 3
+        assert results[0]["rendered"] == results[2]["rendered"]
+        # the duplicate is served without new work
+        assert results[2]["cached"] is True
+        single = client.schedule({"kernel": "daxpy", "clusters": 2})
+        assert single["result"]["rendered"] == results[1]["rendered"]
+
+    def test_named_grid_job(self, client, monkeypatch):
+        def run_tiny(ctx, quick):
+            from repro.core.selective import UnrollPolicy
+            from repro.experiments import suite_grid
+            from repro.workloads.specfp import build_program
+
+            items = suite_grid(
+                [build_program("applu")],
+                ScheduleRequest(kernel="dot", clusters=2).config(),
+                "bsa",
+                UnrollPolicy.NONE,
+            )[:2]
+            ctx.run_grid(items)
+            return f"tiny grid: {len(items)} point(s)"
+
+        monkeypatch.setitem(
+            GRIDS, "tiny", GridSpec("tiny", "test grid", run_tiny)
+        )
+        doc = client.sweep(grid="tiny")
+        assert doc["status"] == "done"
+        assert doc["output"] == "tiny grid: 2 point(s)"
+        assert client.stats()["points_executed"] >= 2
+
+    def test_grid_and_requests_exclusive(self, client):
+        with pytest.raises(ClientError) as err:
+            client._call(
+                "POST",
+                "/sweep",
+                {"grid": "fig8", "requests": [{"kernel": "dot"}]},
+            )
+        assert err.value.status == 400
+
+    def test_unknown_grid(self, client):
+        with pytest.raises(ClientError) as err:
+            client.sweep(grid="fig99")
+        assert err.value.status == 400
+
+
+class TestErrorMapping:
+    def test_unknown_path_404(self, client):
+        with pytest.raises(ClientError) as err:
+            client._call("GET", "/nope")
+        assert err.value.status == 404
+
+    def test_unknown_post_path_404_even_without_body(self, client, server):
+        import urllib.request
+
+        request = urllib.request.Request(
+            f"{client.base_url}/nope", data=b"", method="POST"
+        )
+        with pytest.raises(urllib.error.HTTPError) as err:
+            urllib.request.urlopen(request, timeout=10)
+        assert err.value.code == 404
+
+    def test_unknown_job_404(self, client):
+        with pytest.raises(ClientError) as err:
+            client.job("j99999")
+        assert err.value.status == 404
+
+    def test_bad_json_400(self, client, server):
+        import urllib.request
+
+        request = urllib.request.Request(
+            f"{client.base_url}/schedule",
+            data=b"not json{",
+            method="POST",
+            headers={"Content-Type": "application/json"},
+        )
+        with pytest.raises(urllib.error.HTTPError) as err:
+            urllib.request.urlopen(request, timeout=10)
+        assert err.value.code == 400
+
+    def test_unknown_kernel_400(self, client):
+        with pytest.raises(ClientError) as err:
+            client.schedule({"kernel": "nope"})
+        assert err.value.status == 400
+        assert "unknown kernel" in str(err.value)
+
+    def test_empty_sweep_400(self, client):
+        with pytest.raises(ClientError) as err:
+            client.sweep([])
+        assert err.value.status == 400
+
+
+# ---------------------------------------------------------------------------
+# Concurrency
+# ---------------------------------------------------------------------------
+class TestConcurrentClients:
+    def test_parallel_submits_agree(self, server):
+        mix = default_mix()[:6]
+        outcomes: dict[str, set[str]] = {}
+        errors: list[Exception] = []
+        lock = threading.Lock()
+
+        def hammer(worker_id: int) -> None:
+            client = ServiceClient(port=server.port, timeout=60.0)
+            for i in range(6):
+                payload = mix[(worker_id + i) % len(mix)]
+                try:
+                    doc = client.schedule(payload)
+                    with lock:
+                        outcomes.setdefault(
+                            json.dumps(payload, sort_keys=True), set()
+                        ).add(doc["result"]["rendered"])
+                except Exception as exc:  # noqa: BLE001 - collected below
+                    with lock:
+                        errors.append(exc)
+
+        threads = [
+            threading.Thread(target=hammer, args=(n,)) for n in range(8)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert len(outcomes) == len(mix)
+        # every scenario produced exactly one distinct schedule
+        assert all(len(renders) == 1 for renders in outcomes.values())
+
+    @pytest.mark.slow
+    def test_worker_pool_path(self, tmp_path):
+        svc = SchedulingService(
+            cache=ResultCache(tmp_path / "pool-cache", code_version="test-svc"),
+            workers=2,
+        )
+        srv = ServiceServer(svc, port=0)
+        thread = threading.Thread(target=srv.serve_forever, daemon=True)
+        thread.start()
+        try:
+            client = ServiceClient(port=srv.port, timeout=120.0)
+            doc = client.sweep([{"kernel": k} for k in ("dot", "daxpy", "vadd")])
+            assert doc["status"] == "done"
+            assert [r["cached"] for r in doc["results"]] == [False] * 3
+            for result in doc["results"]:
+                request = ScheduleRequest.from_payload(
+                    {"kernel": result["kernel"]}
+                )
+                assert result["rendered"] == reference_payload(request)["rendered"]
+            assert client.stats()["pool_live"] is True
+        finally:
+            srv.shutdown()
+            srv.server_close()
+            svc.close()
+
+
+# ---------------------------------------------------------------------------
+# Loadtest (the CI smoke in miniature)
+# ---------------------------------------------------------------------------
+class TestLoadtest:
+    def test_cold_then_warm(self, server):
+        cold = run_loadtest(
+            port=server.port, clients=4, requests=32, verify=True
+        )
+        assert cold.ok, cold.errors + cold.mismatches
+        assert cold.successes == 32
+        assert cold.verified == len(default_mix())
+        warm = run_loadtest(
+            port=server.port, clients=4, requests=32, verify=False
+        )
+        assert warm.ok
+        assert warm.hit_rate >= 0.95
+        assert warm.p50_s < cold.duration_s  # warm requests never schedule
+
+    def test_report_shape(self):
+        from repro.service.client import LoadtestReport
+
+        report = LoadtestReport(
+            clients=2, requests=4, successes=4, duration_s=1.0,
+            latencies_s=[0.1, 0.2, 0.3, 0.4], cache_hits=4,
+        )
+        assert report.success_rate == 1.0
+        assert report.hit_rate == 1.0
+        assert report.p50_s == 0.2
+        assert report.p95_s == 0.4
+        doc = report.to_dict()
+        assert doc["p50_ms"] == pytest.approx(200.0)
+        assert "loadtest: 4 request(s)" in report.render()
+
+
+# ---------------------------------------------------------------------------
+# Shutdown
+# ---------------------------------------------------------------------------
+class TestShutdown:
+    def test_graceful_shutdown_mid_job(self, tmp_path, monkeypatch):
+        svc = SchedulingService(cache=None, workers=0)
+        release = threading.Event()
+        running = threading.Event()
+
+        import repro.service.core as core
+
+        original = core.execute_points
+
+        def slow_execute(misses, **kwargs):
+            running.set()
+            release.wait(10.0)
+            return original(misses, **kwargs)
+
+        monkeypatch.setattr(core, "execute_points", slow_execute)
+        in_flight = svc.submit_schedule(
+            ScheduleRequest.from_payload({"kernel": "dot"})
+        )
+        assert running.wait(10.0)  # dispatcher is now mid-batch
+        queued = svc.submit_schedule(
+            ScheduleRequest.from_payload({"kernel": "daxpy"})
+        )
+        closer = threading.Thread(target=svc.close, daemon=True)
+        closer.start()
+        release.set()
+        closer.join(15.0)
+        assert not closer.is_alive()
+        assert in_flight.status == "done"  # the batch in flight completed
+        assert queued.status in ("cancelled", "done")
+        assert queued.wait(0.1)  # waiters were released either way
+        with pytest.raises(ServiceClosed):
+            svc.submit_schedule(
+                ScheduleRequest.from_payload({"kernel": "dot"})
+            )
+
+    def test_close_is_idempotent(self, tmp_path):
+        svc = SchedulingService(cache=None, workers=0)
+        svc.close()
+        svc.close()
+
+    def test_finished_jobs_are_evicted_past_limit(self):
+        svc = SchedulingService(cache=None, workers=0, job_limit=5)
+        try:
+            jobs = []
+            for _ in range(8):
+                job = svc.submit_schedule(
+                    ScheduleRequest.from_payload({"kernel": "dot"})
+                )
+                assert job.wait(30.0)
+                jobs.append(job)
+            assert len(svc._jobs) <= 6  # limit + the most recent submission
+            assert svc.job(jobs[0].id) is None  # oldest finished: evicted
+            assert svc.job(jobs[-1].id) is not None
+        finally:
+            svc.close()
+
+    def test_workers0_grid_job_never_spawns_a_pool(self, monkeypatch):
+        from repro.runner.grids import GRIDS as grids_registry
+        from repro.runner.grids import GridSpec as Spec
+
+        def run_tiny(ctx, quick):
+            assert ctx.pool is None and ctx.jobs == 1
+            return "ok"
+
+        monkeypatch.setitem(grids_registry, "tiny0", Spec("tiny0", "t", run_tiny))
+        svc = SchedulingService(cache=None, workers=0)
+        try:
+            job = svc.submit_grid("tiny0", jobs=4)  # client asks for 4
+            assert job.wait(30.0)
+            assert job.status == "done" and job.output == "ok"
+            assert svc.stats()["pool_live"] is False
+        finally:
+            svc.close()
+
+    def test_healthz_reports_stopping(self, tmp_path):
+        svc = SchedulingService(cache=None, workers=0)
+        assert svc.healthz()["status"] == "ok"
+        svc.close()
+        assert svc.healthz()["status"] == "stopping"
+
+    def test_concurrent_close_does_not_deadlock(self):
+        svc = SchedulingService(cache=None, workers=0)
+        closers = [
+            threading.Thread(target=svc.close, daemon=True) for _ in range(3)
+        ]
+        for t in closers:
+            t.start()
+        for t in closers:
+            t.join(15.0)
+        assert not any(t.is_alive() for t in closers)
+
+
+class TestFailureIsolation:
+    def test_one_bad_point_does_not_fail_other_jobs(self, monkeypatch):
+        import repro.service.core as core
+
+        svc = SchedulingService(cache=None, workers=0)
+        try:
+            good = svc.submit_schedule(
+                ScheduleRequest.from_payload({"kernel": "dot"})
+            )
+            assert good.wait(30.0) and good.status == "done"
+
+            original = core.execute_points
+
+            def explode_on_daxpy(misses, **kwargs):
+                if any(item[1][0].loop == "daxpy" for item in misses):
+                    raise RuntimeError("boom")
+                return original(misses, **kwargs)
+
+            monkeypatch.setattr(core, "execute_points", explode_on_daxpy)
+            bad = svc.submit_schedule(
+                ScheduleRequest.from_payload({"kernel": "daxpy"})
+            )
+            assert bad.wait(30.0)
+            assert bad.status == "failed"
+            assert "boom" in bad.error
+            # a memo-served request is untouched by the failure
+            repeat = svc.submit_schedule(
+                ScheduleRequest.from_payload({"kernel": "dot"})
+            )
+            assert repeat.wait(30.0) and repeat.status == "done"
+            assert repeat.results[0]["cached"] is True
+            # and the service recovers for fresh scenarios too
+            other = svc.submit_schedule(
+                ScheduleRequest.from_payload({"kernel": "vadd"})
+            )
+            assert other.wait(30.0) and other.status == "done"
+        finally:
+            svc.close()
+
+    def test_broken_pool_is_discarded(self):
+        from concurrent.futures import BrokenExecutor
+
+        svc = SchedulingService(cache=None, workers=2)
+        try:
+            class FakePool:
+                def __init__(self):
+                    self.down = False
+
+                def shutdown(self, wait=True):
+                    self.down = True
+
+            fake = FakePool()
+            svc._pool = fake
+            svc._discard_pool_if_broken(RuntimeError("not pool related"))
+            assert svc._pool is fake  # untouched
+            svc._discard_pool_if_broken(BrokenExecutor("worker died"))
+            assert svc._pool is None and fake.down is True
+        finally:
+            svc.close()
+
+
+# ---------------------------------------------------------------------------
+# Payload shape
+# ---------------------------------------------------------------------------
+class TestResultPayload:
+    def test_payload_fields(self):
+        request = ScheduleRequest.from_payload({"kernel": "dot"})
+        payload = reference_payload(request)
+        assert payload["kernel"] == "dot"
+        assert payload["point"]["scheduler"] == "bsa"
+        assert payload["ii"] >= 1 and payload["stage_count"] >= 1
+        assert payload["fallback"] is False
+        assert payload["rendered"].startswith("ModuloSchedule")
+        assert payload["sim"] is None
+
+    def test_payload_roundtrips_schedule(self):
+        from repro.ir.serialize import schedule_from_dict
+
+        request = ScheduleRequest.from_payload({"kernel": "stencil3"})
+        payload = reference_payload(request)
+        sched = schedule_from_dict(payload["schedule"])
+        assert sched.ii == payload["ii"]

@@ -1,18 +1,24 @@
 #!/usr/bin/env python3
-"""Fail on broken intra-repo links in the repository's Markdown files.
+"""Fail on broken intra-repo links and stale CLI verbs in Markdown files.
 
-Scans every ``*.md`` file (repo root, ``docs/``, and any other tracked
-directory), extracts ``[text](target)`` links, and checks that every
-relative target resolves to an existing file or directory.  External
-links (``http(s)://``, ``mailto:``) and pure in-page anchors (``#…``)
-are skipped; a ``path#fragment`` target is checked for the path part
-only.
+Two drift detectors over every ``*.md`` file (repo root, ``docs/``, and
+any other tracked directory):
+
+* **links** — extracts ``[text](target)`` links and checks that every
+  relative target resolves to an existing file or directory.  External
+  links (``http(s)://``, ``mailto:``) and pure in-page anchors (``#…``)
+  are skipped; a ``path#fragment`` target is checked for the path part
+  only.
+* **CLI verbs** — every ``repro-vliw <subcommand>`` mention must name a
+  subcommand actually registered in ``src/repro/cli.py`` (parsed from
+  its ``add_parser`` calls), so the docs cannot drift as verbs are
+  added or renamed.
 
 Used by the CI docs job::
 
     python tools/check_links.py
 
-Exit status is non-zero if any link is broken, with one line per
+Exit status is non-zero if anything is broken, with one line per
 offender.
 """
 
@@ -58,17 +64,68 @@ def broken_links(md_file: Path) -> list[tuple[str, str]]:
     return problems
 
 
+#: ``add_parser("name")`` registrations in cli.py — the ground truth of
+#: which subcommands exist.
+ADD_PARSER_RE = re.compile(r"""add_parser\(\s*["']([a-z0-9_-]+)["']""")
+
+#: Subcommands registered through the figure loop in cli.py:
+#: ``("fig8", cmd_fig8, True)`` tuples of (name, handler, has_quick).
+LOOPED_PARSER_RE = re.compile(r"""\(\s*["']([a-z0-9_-]+)["']\s*,\s*cmd_\w+\s*,""")
+
+#: ``repro-vliw <word>`` command mentions.  Only bare lowercase words
+#: are candidate subcommands; flags (``--jobs``), placeholders
+#: (``<command>``) and upper-case words (``KERNEL``, ``GRID``) are not
+#: matched.
+CLI_MENTION_RE = re.compile(r"repro-vliw\s+([a-z][a-z0-9_-]*)")
+
+#: Fenced code blocks and inline code spans — the only places a
+#: ``repro-vliw`` mention is a command line rather than prose ("the
+#: repro-vliw package").
+FENCED_RE = re.compile(r"```.*?```", re.S)
+INLINE_CODE_RE = re.compile(r"`[^`\n]+`")
+
+
+def registered_subcommands(root: Path) -> set[str]:
+    """Subcommand names registered in ``src/repro/cli.py``."""
+    cli_source = (root / "src" / "repro" / "cli.py").read_text(encoding="utf-8")
+    return set(ADD_PARSER_RE.findall(cli_source)) | set(
+        LOOPED_PARSER_RE.findall(cli_source)
+    )
+
+
+def cli_mentions(md_file: Path) -> list[str]:
+    """Every ``repro-vliw <verb>`` inside a code block or code span."""
+    text = md_file.read_text(encoding="utf-8")
+    fenced = FENCED_RE.findall(text)
+    inline = INLINE_CODE_RE.findall(FENCED_RE.sub("", text))
+    code = "\n".join(fenced + inline)
+    return CLI_MENTION_RE.findall(code)
+
+
 def main() -> int:
     root = Path(__file__).resolve().parent.parent
     failures = 0
     files = iter_markdown_files(root)
+    known = registered_subcommands(root)
+    mentions = 0
     for md_file in files:
         for target, reason in broken_links(md_file):
             print(f"{md_file.relative_to(root)}: broken link ({target}): {reason}")
             failures += 1
+        verbs = cli_mentions(md_file)
+        mentions += len(verbs)
+        for verb in verbs:
+            if verb in known:
+                continue
+            print(
+                f"{md_file.relative_to(root)}: 'repro-vliw {verb}' names no "
+                f"registered subcommand (known: {', '.join(sorted(known))})"
+            )
+            failures += 1
     print(
-        f"checked {len(files)} markdown file(s): "
-        f"{failures} broken link(s)"
+        f"checked {len(files)} markdown file(s), {mentions} CLI mention(s) "
+        f"against {len(known)} registered subcommand(s): "
+        f"{failures} problem(s)"
     )
     return 1 if failures else 0
 
