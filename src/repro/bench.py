@@ -23,7 +23,11 @@ Methodology:
 * a fixed pure-Python *calibration* spin is timed alongside and stored in
   every document; the regression gate rescales baseline times by the
   calibration ratio, so a baseline recorded on a faster or slower host
-  still gates meaningfully.
+  still gates meaningfully;
+* after the timed repeats, each benchmark runs one extra pass with the
+  ``repro.obs`` phase-profiling hooks enabled; the per-phase wall-time
+  breakdown (ordering / placement probe / commit / sim) is stored under
+  ``"phases"`` in the document, never inside the timed figures.
 """
 
 from __future__ import annotations
@@ -40,6 +44,7 @@ from typing import Callable
 
 from .arch.configs import four_cluster_config, two_cluster_config, unified_config
 from .ir.ddg import DependenceGraph
+from .obs.trace import PHASES
 from .ir.unroll import unroll_graph
 from .workloads.generator import LoopShape, RecurrenceSpec, generate_loop
 from .workloads.kernels import fir_filter, hydro_fragment, stencil5
@@ -321,6 +326,9 @@ class BenchResult:
     description: str
     runs: list[float]
     calls: int
+    #: Per-phase wall-time breakdown (``repro.obs.trace.PHASES`` snapshot)
+    #: from one extra *untimed* profiled pass; empty when no hooks fired.
+    phases: dict = field(default_factory=dict)
 
     @property
     def best_s(self) -> float:
@@ -331,13 +339,16 @@ class BenchResult:
         return sum(self.runs) / len(self.runs)
 
     def to_dict(self) -> dict:
-        return {
+        doc = {
             "description": self.description,
             "best_s": self.best_s,
             "mean_s": self.mean_s,
             "runs": self.runs,
             "calls": self.calls,
         }
+        if self.phases:
+            doc["phases"] = self.phases
+        return doc
 
 
 @dataclass
@@ -430,6 +441,7 @@ def run_benchmarks(
         run, calls = bench.prepare()
         run()  # warm-up: fills caches (bytecode, allocator) outside timing
         runs = []
+        phases: dict = {}
         gc.collect()  # start from a clean heap; prior benchmarks' garbage
         gc_was_enabled = gc.isenabled()
         gc.disable()  # ... and no collector pauses inside the timed region
@@ -438,6 +450,18 @@ def run_benchmarks(
                 t0 = time.perf_counter()
                 run()
                 runs.append(time.perf_counter() - t0)
+            # One extra pass with phase profiling on — *after* the timed
+            # repeats and never counted in them, since the hooks
+            # themselves cost a little.  Yields the per-phase breakdown
+            # (ordering / probe / commit / sim) stored per benchmark.
+            PHASES.reset()
+            PHASES.enabled = True
+            try:
+                run()
+            finally:
+                PHASES.enabled = False
+            phases = PHASES.snapshot()
+            PHASES.reset()
         finally:
             if gc_was_enabled:
                 gc.enable()
@@ -446,7 +470,9 @@ def run_benchmarks(
             cleanup = getattr(run, "cleanup", None)
             if cleanup is not None:
                 cleanup()
-        results.append(BenchResult(bench.name, bench.description, runs, calls))
+        results.append(
+            BenchResult(bench.name, bench.description, runs, calls, phases=phases)
+        )
         if progress:
             progress(f"{bench.name}: best {min(runs) * 1e3:.1f}ms over {repeats} runs")
     # Sample the host yardstick before AND after the benchmarks and keep

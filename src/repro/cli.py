@@ -15,6 +15,7 @@ Commands map one-to-one onto the paper's artefacts::
                                    # execute the emitted code cycle by cycle
     repro-vliw crossval [--quick]  # Figure 8 grid re-run under simulation
     repro-vliw sweep GRID          # run any declared grid via the runner
+    repro-vliw report FILE         # aggregate a recorded run report
     repro-vliw cache [stats|clear] # inspect / wipe the result cache
     repro-vliw serve               # persistent scheduling service (HTTP)
     repro-vliw submit KERNEL       # schedule via a running service
@@ -29,6 +30,11 @@ recomputes ignoring cached entries, and ``--no-cache`` disables
 persistence entirely.  ``--quick`` trims sweeps (fewer bus counts /
 cluster counts) for fast inspection; full runs regenerate exactly what
 EXPERIMENTS.md records.
+
+``--report-out FILE`` on any grid command records a structured run
+report (one record per scenario point: II, MII, MaxLive, cache source,
+wall time, trace id) that ``repro-vliw report FILE`` aggregates into
+per-kernel / per-config / per-scheduler tables.
 """
 
 from __future__ import annotations
@@ -81,11 +87,29 @@ def _cache(args: argparse.Namespace) -> ResultCache | None:
 
 def _ctx(args: argparse.Namespace) -> ExperimentContext:
     """An experiment context wired to the CLI's cache/jobs/fresh flags."""
+    recorder = None
+    if getattr(args, "report_out", None):
+        from .obs.report import RunRecorder
+
+        recorder = RunRecorder()
     return ExperimentContext(
         cache=_cache(args),
         jobs=getattr(args, "jobs", 1),
         fresh=getattr(args, "fresh", False),
+        recorder=recorder,
     )
+
+
+def _write_report(args: argparse.Namespace, ctx: ExperimentContext, sweep: str) -> None:
+    """Save the context's recorded run report when --report-out was given."""
+    out = getattr(args, "report_out", None)
+    if not out or ctx.recorder is None:
+        return
+    from pathlib import Path
+
+    report = ctx.recorder.report(sweep=sweep)
+    report.save(Path(out))
+    print(f"\nrun report ({len(report.records)} point(s)) -> {out}")
 
 
 def _sweep_flags(parser: argparse.ArgumentParser) -> None:
@@ -106,6 +130,10 @@ def _sweep_flags(parser: argparse.ArgumentParser) -> None:
         "--cache-dir", default=None,
         help="cache directory (default: $REPRO_VLIW_CACHE or ~/.cache/repro-vliw)",
     )
+    parser.add_argument(
+        "--report-out", default=None, metavar="FILE",
+        help="record a structured run report (for: repro-vliw report FILE)",
+    )
 
 
 def cmd_table1(_args: argparse.Namespace) -> None:
@@ -124,6 +152,7 @@ def cmd_fig4(args: argparse.Namespace) -> None:
     points = run_fig4(ctx, **kwargs)
     print(format_table(fig4_rows(points), title="Figure 4: relative IPC vs buses"))
     print(f"\n[{ctx.stats.render()}]")
+    _write_report(args, ctx, "fig4")
 
 
 def cmd_fig7(_args: argparse.Namespace) -> None:
@@ -144,6 +173,7 @@ def cmd_fig8(args: argparse.Namespace) -> None:
     print()
     print(format_table(average_ipc(points), title="Figure 8: averages"))
     print(f"\n[{ctx.stats.render()}]")
+    _write_report(args, ctx, "fig8")
 
 
 def cmd_fig9(args: argparse.Namespace) -> None:
@@ -159,6 +189,7 @@ def cmd_fig9(args: argparse.Namespace) -> None:
         f"{best.scenario} -> {best.report.speedup:.2f}x"
     )
     print(f"\n[{ctx.stats.render()}]")
+    _write_report(args, ctx, "fig9")
 
 
 def cmd_fig10(args: argparse.Namespace) -> None:
@@ -169,6 +200,7 @@ def cmd_fig10(args: argparse.Namespace) -> None:
     points = run_fig10(ctx, **kwargs)
     print(format_table(fig10_rows(points), title="Figure 10: code size (normalised)"))
     print(f"\n[{ctx.stats.render()}]")
+    _write_report(args, ctx, "fig10")
 
 
 def _resolve_kernel_or_exit(name: str):
@@ -253,6 +285,7 @@ def cmd_crossval(args: argparse.Namespace) -> None:
         f"{max_cycle_divergence(points)}"
     )
     print(f"[{ctx.stats.render()}]")
+    _write_report(args, ctx, "crossval")
 
 
 def cmd_sweep(args: argparse.Namespace) -> None:
@@ -271,6 +304,7 @@ def cmd_sweep(args: argparse.Namespace) -> None:
     ctx = _ctx(args)
     print(spec.run(ctx, args.quick))
     print(f"\n[{ctx.stats.render()}]")
+    _write_report(args, ctx, args.grid)
 
 
 def cmd_bench(args: argparse.Namespace) -> None:
@@ -444,6 +478,13 @@ def cmd_loadtest(args: argparse.Namespace) -> None:
         print(_json.dumps(report.to_dict(), indent=2, sort_keys=True))
     else:
         print(report.render())
+    if args.out:
+        from pathlib import Path
+
+        Path(args.out).write_text(
+            _json.dumps(report.to_dict(), indent=2, sort_keys=True) + "\n"
+        )
+        print(f"report -> {args.out}")
     if not report.ok:
         sys.exit(1)
     if report.hit_rate < args.min_hit_rate:
@@ -451,6 +492,26 @@ def cmd_loadtest(args: argparse.Namespace) -> None:
             f"loadtest: cache-hit rate {report.hit_rate:.1%} below required "
             f"{args.min_hit_rate:.1%}"
         )
+    if args.max_p95_ms is not None and report.p95_s * 1e3 > args.max_p95_ms:
+        sys.exit(
+            f"loadtest: p95 latency {report.p95_s * 1e3:.1f}ms above allowed "
+            f"{args.max_p95_ms:.1f}ms"
+        )
+
+
+def cmd_report(args: argparse.Namespace) -> None:
+    from pathlib import Path
+
+    from .obs.report import RunReport, render_report
+
+    try:
+        report = RunReport.load(Path(args.file))
+    except (OSError, ValueError, KeyError, TypeError) as exc:
+        sys.exit(f"report: cannot load {args.file!r}: {exc}")
+    try:
+        print(render_report(report, by=args.by, fmt=args.format))
+    except (KeyError, ValueError) as exc:
+        sys.exit(f"report: {exc}")
 
 
 def cmd_cache(args: argparse.Namespace) -> None:
@@ -572,6 +633,11 @@ def main(argv: list[str] | None = None) -> None:
                    help="skip the byte-identity check against the direct path")
     p.add_argument("--min-hit-rate", type=float, default=0.0, metavar="FRAC",
                    help="fail unless the cache-hit rate reaches FRAC (0..1)")
+    p.add_argument("--max-p95-ms", type=float, default=None, metavar="MS",
+                   help="fail if p95 request latency exceeds MS milliseconds")
+    p.add_argument("--out", default=None, metavar="FILE",
+                   help="also write the full report (latency histogram, "
+                        "trace ids of failed requests) as JSON to FILE")
     p.add_argument("--json", action="store_true",
                    help="print the report as JSON")
     p.add_argument("--host", default="127.0.0.1")
@@ -581,6 +647,18 @@ def main(argv: list[str] | None = None) -> None:
     p.add_argument("--wait-healthy", type=float, default=10.0,
                    help="seconds to wait for /healthz before giving up")
     p.set_defaults(func=cmd_loadtest)
+    p = sub.add_parser(
+        "report",
+        help="aggregate a run report recorded with --report-out",
+    )
+    p.add_argument("file", help="run-report JSON written by --report-out")
+    p.add_argument("--by", default="kernel",
+                   choices=("kernel", "config", "scheduler", "policy"),
+                   help="grouping dimension (default: kernel)")
+    p.add_argument("--format", default="text",
+                   choices=("text", "json", "markdown"),
+                   help="output format (default: text)")
+    p.set_defaults(func=cmd_report)
     p = sub.add_parser("cache", help="result-cache statistics / clearing")
     p.add_argument(
         "action", nargs="?", choices=("stats", "clear"), default="stats"

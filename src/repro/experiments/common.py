@@ -36,6 +36,7 @@ from ..core.selective import (
     UnrollPolicy,
 )
 from ..ir.loop import Loop, Program
+from ..obs.report import RunRecorder
 from ..perf.model import ProgramPerformance, program_performance
 from ..runner.cache import ResultCache
 from ..runner.engine import (  # re-exported for backwards compatibility
@@ -131,6 +132,11 @@ class ExperimentContext:
         Every scenario point that needed the list-schedule fallback.
     stats:
         Accumulated :class:`SweepStats` over all work this context ran.
+    recorder:
+        Optional :class:`~repro.obs.report.RunRecorder`; when set,
+        :meth:`run_grid` records one point record per grid point
+        (including in-process memo hits, as source ``memo``) for the
+        ``--report-out`` run report.  Purely observational.
     """
 
     suite: list[Program] = field(default_factory=specfp95_suite)
@@ -142,6 +148,7 @@ class ExperimentContext:
     sim_memo: dict[str, CrossCheck] = field(default_factory=dict)
     fallbacks: list[ScenarioPoint] = field(default_factory=list)
     stats: SweepStats = field(default_factory=SweepStats)
+    recorder: RunRecorder | None = None
     #: Canonical keys of the points in :attr:`fallbacks` (fast lookup).
     _fallback_keys: set[str] = field(default_factory=set)
 
@@ -227,11 +234,25 @@ class ExperimentContext:
         """
         jobs = self.jobs if jobs is None else jobs
         by_key: dict[str, GridItem] = {}
+        memo_hits: dict[str, GridItem] = {}
         for point, loop in items:
             memo = self.sim_memo if point.simulate else self.memo
             key = point.canonical()
             if key not in memo:
                 by_key.setdefault(key, (point, loop))
+            else:
+                memo_hits.setdefault(key, (point, loop))
+        if self.recorder is not None:
+            for key, (point, _loop) in memo_hits.items():
+                if point.simulate:
+                    continue  # the schedule-only twin is what the memo holds
+                self.recorder.record(
+                    point,
+                    PointResult.from_loop_result(
+                        self.memo[key], fallback=key in self._fallback_keys
+                    ),
+                    source="memo",
+                )
         pending = list(by_key.values())
         results, stats = run_sweep(
             pending,
@@ -240,6 +261,7 @@ class ExperimentContext:
             fresh=self.fresh,
             pool=self.pool,
             prior_lookup=self._known_schedule,
+            recorder=self.recorder,
         )
         for key, result in results.items():
             point, _loop = by_key[key]

@@ -107,6 +107,25 @@ class CacheStats:
     misses: int
     writes: int
 
+    @property
+    def hit_rate(self) -> float:
+        """Hits over probes for this instance (0.0 before any probe)."""
+        probes = self.hits + self.misses
+        return self.hits / probes if probes else 0.0
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-ready snapshot (the service's ``/stats`` cache block)."""
+        return {
+            "root": self.root,
+            "code_version": self.code_version,
+            "entries": self.entries,
+            "total_bytes": self.total_bytes,
+            "hits": self.hits,
+            "misses": self.misses,
+            "writes": self.writes,
+            "hit_rate": self.hit_rate,
+        }
+
     def render(self) -> str:
         """Human-readable stats block (the ``repro-vliw cache`` output)."""
         return "\n".join(

@@ -36,6 +36,7 @@ from concurrent.futures import Executor, ProcessPoolExecutor
 from contextlib import nullcontext
 from dataclasses import dataclass
 from multiprocessing import get_context
+from time import perf_counter
 from typing import Any, Callable
 
 from ..arch.cluster import MachineConfig
@@ -53,6 +54,8 @@ from ..errors import SchedulingError
 from ..ir.ddg import DependenceGraph
 from ..ir.loop import Loop
 from ..ir.serialize import loop_from_dict, loop_to_dict
+from ..obs.report import RunRecorder
+from ..obs.trace import PHASES, TRACER
 from ..sim.crosscheck import crosscheck_loop
 from ..sim.memory import MemoryModel, RandomMissMemory
 from .cache import ResultCache
@@ -155,7 +158,8 @@ def execute_point(
         sim_loop = Loop(
             graph=loop.graph, trip_count=point.niter, times_executed=1
         )
-        check = crosscheck_loop(sim_loop, result, memory=memory)
+        with PHASES.time("sim.execute"):
+            check = crosscheck_loop(sim_loop, result, memory=memory)
         sim = SimOutcome(
             analytic_cycles=check.analytic_cycles,
             simulated_cycles=check.simulated_cycles,
@@ -196,36 +200,47 @@ def _run_batch(
     batch: list[dict[str, Any]],
     cache_root: str | None,
     code_version: str | None,
-) -> list[tuple[str, dict[str, Any]]]:
+    trace_carrier: dict[str, str] | None = None,
+) -> list[tuple[str, dict[str, Any], dict[str, Any]]]:
     """Execute one shard of work items in a worker process.
 
     Each item is ``{"point": <asdict>, "loop": <loop_to_dict>,
     "prior": <PointResult.to_dict() | None>}``.  Results are written to
     the shared cache *as each point completes* (atomic, content-keyed),
     so a sweep killed mid-shard still resumes from every finished point.
-    Returns ``(canonical_key, result_payload)`` pairs.
+    Returns ``(canonical_key, result_payload, meta)`` triples; *meta*
+    always carries the point's wall time, plus its finished spans when
+    tracing is enabled (spawn workers inherit ``$REPRO_VLIW_TRACE``) —
+    *trace_carrier* links those spans to the submitting trace.
     """
     cache = (
         ResultCache(cache_root, code_version=code_version)
         if cache_root is not None
         else None
     )
-    out: list[tuple[str, dict[str, Any]]] = []
-    for item in batch:
-        point = ScenarioPoint(**item["point"])
-        loop = loop_from_dict(item["loop"])
-        prior_payload = item.get("prior")
-        prior = prior_fallback = None
-        if prior_payload is not None:
-            prior_result = PointResult.from_dict(prior_payload)
-            prior = prior_result.loop_result()
-            prior_fallback = prior_result.fallback
-        result = execute_point(
-            point, loop, prior=prior, prior_fallback=bool(prior_fallback)
-        )
-        if cache is not None:
-            store_result(cache, point, result)
-        out.append((point.canonical(), result.to_dict()))
+    out: list[tuple[str, dict[str, Any], dict[str, Any]]] = []
+    with TRACER.adopt(trace_carrier):
+        for item in batch:
+            point = ScenarioPoint(**item["point"])
+            loop = loop_from_dict(item["loop"])
+            prior_payload = item.get("prior")
+            prior = prior_fallback = None
+            if prior_payload is not None:
+                prior_result = PointResult.from_dict(prior_payload)
+                prior = prior_result.loop_result()
+                prior_fallback = prior_result.fallback
+            t0 = perf_counter()
+            with TRACER.span("runner.execute_point", point=point.describe()):
+                result = execute_point(
+                    point, loop, prior=prior, prior_fallback=bool(prior_fallback)
+                )
+            wall = perf_counter() - t0
+            if cache is not None:
+                store_result(cache, point, result)
+            meta: dict[str, Any] = {"wall_s": wall}
+            if TRACER.enabled:
+                meta["spans"] = [span.to_dict() for span in TRACER.drain()]
+            out.append((point.canonical(), result.to_dict(), meta))
     return out
 
 
@@ -270,6 +285,7 @@ def execute_points(
         [ScenarioPoint], tuple[ScheduledLoopResult | None, bool]
     ]
     | None = None,
+    meta_out: dict[str, dict[str, Any]] | None = None,
 ) -> dict[str, PointResult]:
     """Execute already-deduplicated cache misses and return their results.
 
@@ -298,6 +314,10 @@ def execute_points(
     prior_for:
         Optional hook returning ``(schedule, was_fallback)`` for a
         simulated point's schedule-only twin (see :func:`run_sweep`).
+    meta_out:
+        When given, filled with ``canonical_key -> {"wall_s": ...}``
+        execution metadata (observability only — never part of the
+        result payload or the cache).
 
     Returns
     -------
@@ -318,9 +338,13 @@ def execute_points(
     if pool is None and jobs <= 1:
         for key, (point, loop) in misses:
             prior, prior_fb = _prior(point)
-            result = execute_point(
-                point, loop, prior=prior, prior_fallback=prior_fb
-            )
+            t0 = perf_counter()
+            with TRACER.span("runner.execute_point", point=point.describe()):
+                result = execute_point(
+                    point, loop, prior=prior, prior_fallback=prior_fb
+                )
+            if meta_out is not None:
+                meta_out[key] = {"wall_s": perf_counter() - t0}
             if cache is not None:
                 store_result(cache, point, result)
             results[key] = result
@@ -351,14 +375,19 @@ def execute_points(
     owned = (
         make_worker_pool(len(shards)) if pool is None else nullcontext(pool)
     )
+    carrier = TRACER.carrier()
     with owned as executor:
         futures = [
-            executor.submit(_run_batch, batch, cache_root, code_version)
+            executor.submit(_run_batch, batch, cache_root, code_version, carrier)
             for batch in payloads
         ]
         for future in futures:
-            for key, payload in future.result():
+            for key, payload, meta in future.result():
                 results[key] = PointResult.from_dict(payload)
+                for span in meta.pop("spans", []):
+                    TRACER.record(span)
+                if meta_out is not None:
+                    meta_out[key] = meta
     return results
 
 
@@ -408,6 +437,7 @@ def run_sweep(
         [ScenarioPoint], tuple[ScheduledLoopResult, bool] | None
     ]
     | None = None,
+    recorder: RunRecorder | None = None,
 ) -> tuple[dict[str, PointResult], SweepStats]:
     """Execute a grid of scenario points, in parallel, through the cache.
 
@@ -433,6 +463,12 @@ def run_sweep(
         :meth:`ScenarioPoint.without_simulation`), or ``None`` when
         unknown; lets simulated sweeps reuse schedules the caller
         already holds in memory without losing fallback accounting.
+    recorder:
+        Optional :class:`~repro.obs.report.RunRecorder`; when given, one
+        :class:`~repro.obs.report.PointRecord` is recorded per distinct
+        point (source ``disk`` or ``executed``, with executed wall
+        times).  Recording is out-of-band: results, stats and cache
+        contents are identical with or without it.
 
     Returns
     -------
@@ -448,12 +484,17 @@ def run_sweep(
     results: dict[str, PointResult] = {}
     stats = SweepStats(total=len(unique), jobs=max(1, jobs))
 
+    ctx = TRACER.current_context()
+    trace_id = ctx.trace_id if ctx is not None else None
+
     misses: list[tuple[str, GridItem]] = []
     for key, (point, loop) in unique.items():
         cached = cache.get(point) if (cache is not None and not fresh) else None
         if cached is not None:
             results[key] = cached
             stats.cached += 1
+            if recorder is not None:
+                recorder.record(point, cached, source="disk", trace_id=trace_id)
         else:
             misses.append((key, (point, loop)))
 
@@ -475,13 +516,31 @@ def run_sweep(
                 return cached_twin.loop_result(), cached_twin.fallback
         return None, False
 
+    meta_out: dict[str, dict[str, Any]] | None = (
+        {} if recorder is not None else None
+    )
+    grid_for_key = dict(misses)
     executed = execute_points(
-        misses, jobs=jobs, pool=pool, cache=cache, prior_for=_prior_for
+        misses,
+        jobs=jobs,
+        pool=pool,
+        cache=cache,
+        prior_for=_prior_for,
+        meta_out=meta_out,
     )
     for key, result in executed.items():
         results[key] = result
         stats.executed += 1
         stats.fallbacks += int(result.fallback)
+        if recorder is not None:
+            meta = (meta_out or {}).get(key, {})
+            recorder.record(
+                grid_for_key[key][0],
+                result,
+                source="executed",
+                wall_s=meta.get("wall_s", 0.0),
+                trace_id=trace_id,
+            )
     return results, stats
 
 

@@ -26,6 +26,8 @@ from dataclasses import dataclass, field
 from typing import Any
 
 from ..errors import ServiceError
+from ..obs.metrics import LATENCY_BUCKETS_S, _format_bound
+from ..obs.trace import new_trace_id
 from .core import ScheduleRequest, reference_payload
 from .server import DEFAULT_HOST, DEFAULT_PORT
 
@@ -62,14 +64,22 @@ class ServiceClient:
 
     # ------------------------------------------------------------------
     def _call(
-        self, method: str, path: str, payload: dict[str, Any] | None = None
+        self,
+        method: str,
+        path: str,
+        payload: dict[str, Any] | None = None,
+        *,
+        headers: dict[str, str] | None = None,
     ) -> dict[str, Any]:
         data = json.dumps(payload).encode() if payload is not None else None
+        request_headers = {"Content-Type": "application/json"}
+        if headers:
+            request_headers.update(headers)
         request = urllib.request.Request(
             self.base_url + path,
             data=data,
             method=method,
-            headers={"Content-Type": "application/json"},
+            headers=request_headers,
         )
         try:
             with urllib.request.urlopen(request, timeout=self.timeout) as resp:
@@ -105,9 +115,13 @@ class ServiceClient:
 
     def schedule(
         self, request: dict[str, Any] | ScheduleRequest, *, wait: bool = True,
-        timeout_s: float | None = None,
+        timeout_s: float | None = None, trace_id: str | None = None,
     ) -> dict[str, Any]:
-        """``POST /schedule``; returns the server's JSON response."""
+        """``POST /schedule``; returns the server's JSON response.
+
+        *trace_id* (when given) is sent as ``X-Trace-Id`` and adopted by
+        the server, so the caller can later find the job it spawned.
+        """
         payload = (
             request.to_dict()
             if isinstance(request, ScheduleRequest)
@@ -117,7 +131,8 @@ class ServiceClient:
         payload["timeout_s"] = (
             timeout_s if timeout_s is not None else self._server_wait_budget()
         )
-        return self._call("POST", "/schedule", payload)
+        headers = {"X-Trace-Id": trace_id} if trace_id else None
+        return self._call("POST", "/schedule", payload, headers=headers)
 
     def sweep(
         self,
@@ -223,6 +238,9 @@ class LoadtestReport:
     errors: list[str] = field(default_factory=list)
     verified: int = 0
     mismatches: list[str] = field(default_factory=list)
+    #: One entry per failed request or mismatched scenario, carrying the
+    #: trace id the request was sent with (matches the server-side job).
+    failures: list[dict[str, Any]] = field(default_factory=list)
 
     @property
     def success_rate(self) -> float:
@@ -249,6 +267,29 @@ class LoadtestReport:
         """100% success and no byte-identity mismatches."""
         return self.successes == self.requests and not self.mismatches
 
+    def latency_histogram(self) -> dict[str, Any]:
+        """Cumulative latency histogram over the standard bucket ladder.
+
+        Same bucket bounds as the server's
+        ``repro_http_request_duration_seconds`` histogram, so client-side
+        and server-side latency distributions line up bucket for bucket.
+        """
+        ordered = sorted(self.latencies_s)
+        buckets = []
+        cumulative = 0
+        i = 0
+        for bound in LATENCY_BUCKETS_S:
+            while i < len(ordered) and ordered[i] <= bound:
+                i += 1
+            cumulative = i
+            buckets.append({"le": _format_bound(bound), "count": cumulative})
+        buckets.append({"le": "+Inf", "count": len(ordered)})
+        return {
+            "buckets": buckets,
+            "count": len(ordered),
+            "sum_s": sum(ordered),
+        }
+
     def to_dict(self) -> dict[str, Any]:
         return {
             "clients": self.clients,
@@ -264,6 +305,8 @@ class LoadtestReport:
             "verified": self.verified,
             "mismatches": self.mismatches,
             "errors": self.errors[:10],
+            "failures": self.failures,
+            "latency_histogram": self.latency_histogram(),
         }
 
     def render(self) -> str:
@@ -320,28 +363,41 @@ def run_loadtest(
     lock = threading.Lock()
     latencies: list[float] = []
     errors: list[str] = []
+    failures: list[dict[str, Any]] = []
     hits = 0
     successes = 0
-    responses: dict[str, dict[str, Any]] = {}  # one per distinct scenario
+    # One (result, trace_id) per distinct scenario, for verification.
+    responses: dict[str, tuple[dict[str, Any], str]] = {}
 
     def worker(batch: list[tuple[int, dict[str, Any]]]) -> None:
         nonlocal hits, successes
         client = ServiceClient(host, port, timeout=timeout)
         for index, payload in batch:
+            trace_id = new_trace_id()
             t0 = time.perf_counter()
             try:
-                doc = client.schedule(payload)
+                doc = client.schedule(payload, trace_id=trace_id)
                 elapsed = time.perf_counter() - t0
                 result = doc["result"]
             except (ServiceError, KeyError) as exc:
                 with lock:
                     errors.append(f"request {index}: {exc}")
+                    failures.append(
+                        {
+                            "kind": "error",
+                            "request": index,
+                            "trace_id": trace_id,
+                            "detail": str(exc),
+                        }
+                    )
                 continue
             with lock:
                 latencies.append(elapsed)
                 successes += 1
                 hits += bool(result.get("cached"))
-                responses.setdefault(json.dumps(payload, sort_keys=True), result)
+                responses.setdefault(
+                    json.dumps(payload, sort_keys=True), (result, trace_id)
+                )
 
     threads = [
         threading.Thread(target=worker, args=(batch,), daemon=True)
@@ -357,16 +413,28 @@ def run_loadtest(
     verified = 0
     mismatches: list[str] = []
     if verify:
-        for key, result in sorted(responses.items()):
+        for key, (result, trace_id) in sorted(responses.items()):
             request = ScheduleRequest.from_payload(json.loads(key))
             expected = reference_payload(request)
             if result.get("rendered") == expected["rendered"]:
                 verified += 1
             else:
-                mismatches.append(
+                scenario = (
                     f"{request.kernel} on {request.clusters}c/"
-                    f"{request.buses}b/l{request.latency}: rendered schedule "
+                    f"{request.buses}b/l{request.latency}"
+                )
+                mismatches.append(
+                    f"{scenario}: rendered schedule "
                     "differs from the direct execution path"
+                )
+                failures.append(
+                    {
+                        "kind": "mismatch",
+                        "scenario": scenario,
+                        "trace_id": trace_id,
+                        "detail": "rendered schedule differs from the "
+                        "direct execution path",
+                    }
                 )
 
     return LoadtestReport(
@@ -379,4 +447,5 @@ def run_loadtest(
         errors=errors,
         verified=verified,
         mismatches=mismatches,
+        failures=failures,
     )

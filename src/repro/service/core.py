@@ -42,6 +42,7 @@ from ..arch.configs import clustered_config, unified_config
 from ..codegen.vliw import render_schedule
 from ..core.selective import SelectiveRule, UnrollPolicy
 from ..errors import ServiceError
+from ..obs.metrics import MetricsRegistry
 from ..runner.cache import ResultCache
 from ..runner.engine import SCHEDULERS, execute_point, execute_points, make_worker_pool
 from ..runner.grids import GRIDS
@@ -308,6 +309,7 @@ class Job:
     grid: str | None = None
     quick: bool = False
     jobs: int | None = None
+    trace_id: str | None = None
     status: str = "queued"
     created_unix: float = field(default_factory=time.time)
     started_unix: float | None = None
@@ -336,6 +338,7 @@ class Job:
             "finished_unix": self.finished_unix,
             "requests": len(self.requests) if self.kind != "grid" else None,
             "grid": self.grid,
+            "trace_id": self.trace_id,
             "error": self.error,
         }
         if include_results and self.status == "done":
@@ -403,11 +406,24 @@ class SchedulingService:
         self._stopping = False
         self._closed = threading.Event()
 
-        # Counters (under _lock).
+        # Counters (under _lock).  These plain ints are the single source
+        # of truth; the metrics registry below exposes them through
+        # callback-backed instruments, so ``/stats`` and ``/metrics``
+        # read the same state and cannot drift.
         self._requests_total = 0
         self._points_executed = 0
-        self._points_cached = 0
+        self._points_memo = 0
+        self._points_disk = 0
+        self._points_failed = 0
+        self._points_deduped = 0
         self._batches = 0
+
+        #: Per-service metrics registry (instance-owned, not process
+        #: global, so embedded services and tests never share state).
+        #: The HTTP layer adds its request counters/histograms here and
+        #: renders it as ``GET /metrics``.
+        self.metrics = MetricsRegistry()
+        self._register_metrics()
 
         self._dispatcher = threading.Thread(
             target=self._dispatch_loop, name="repro-service-dispatcher",
@@ -415,21 +431,123 @@ class SchedulingService:
         )
         self._dispatcher.start()
 
+    def _register_metrics(self) -> None:
+        """Declare the service's exported instruments.
+
+        Counters and gauges are callback-backed views over the very
+        fields :meth:`stats` reports; only the latency histograms (which
+        have no ``/stats`` twin) hold registry-owned state.
+        """
+        self.metrics.counter(
+            "repro_requests_total",
+            "Client requests accepted (one per point request, one per grid)",
+            callback=lambda: self._requests_total,
+        )
+        self.metrics.counter(
+            "repro_batches_total",
+            "Coalesced dispatcher batches executed",
+            callback=lambda: self._batches,
+        )
+        self.metrics.counter(
+            "repro_points_executed_total",
+            "Scenario points actually scheduled/simulated",
+            callback=lambda: self._points_executed,
+        )
+        self.metrics.counter(
+            "repro_points_memo_hits_total",
+            "Scenario points served from the in-process memo",
+            callback=lambda: self._points_memo,
+        )
+        self.metrics.counter(
+            "repro_points_disk_hits_total",
+            "Scenario points served from the on-disk result cache",
+            callback=lambda: self._points_disk,
+        )
+        self.metrics.counter(
+            "repro_points_failed_total",
+            "Scenario points that raised during execution",
+            callback=lambda: self._points_failed,
+        )
+        self.metrics.counter(
+            "repro_points_deduped_total",
+            "Requested points collapsed by in-batch dedupe",
+            callback=lambda: self._points_deduped,
+        )
+        self.metrics.gauge(
+            "repro_queue_depth",
+            "Jobs waiting for the dispatcher",
+            callback=lambda: self._queue.qsize(),
+        )
+        self.metrics.gauge(
+            "repro_jobs_inflight",
+            "Jobs queued or running",
+            callback=lambda: sum(
+                not job.finished for job in list(self._jobs.values())
+            ),
+        )
+        self.metrics.gauge(
+            "repro_memo_entries",
+            "Entries in the in-process payload memo",
+            callback=lambda: len(self._memo),
+        )
+        self.metrics.gauge(
+            "repro_pool_live",
+            "Whether the shared worker pool has been created (0/1)",
+            callback=lambda: float(self._pool is not None),
+        )
+        self._batch_seconds = self.metrics.histogram(
+            "repro_batch_duration_seconds",
+            "Wall time of one coalesced point batch",
+        )
+        if self.cache is not None:
+            cache = self.cache
+            self.metrics.counter(
+                "repro_cache_hits_total",
+                "On-disk cache hits (this process)",
+                callback=lambda: cache.hits,
+            )
+            self.metrics.counter(
+                "repro_cache_misses_total",
+                "On-disk cache misses (this process)",
+                callback=lambda: cache.misses,
+            )
+            self.metrics.counter(
+                "repro_cache_writes_total",
+                "On-disk cache writes (this process)",
+                callback=lambda: cache.writes,
+            )
+
     # ------------------------------------------------------------------
     # Submission API
     # ------------------------------------------------------------------
-    def submit_schedule(self, request: ScheduleRequest) -> Job:
+    def submit_schedule(
+        self, request: ScheduleRequest, *, trace_id: str | None = None
+    ) -> Job:
         """Queue one scheduling request; returns the (pending) job."""
-        return self._enqueue(Job(self._next_id(), "schedule", [request]))
+        return self._enqueue(
+            Job(self._next_id(), "schedule", [request], trace_id=trace_id)
+        )
 
-    def submit_sweep(self, requests: list[ScheduleRequest]) -> Job:
+    def submit_sweep(
+        self,
+        requests: list[ScheduleRequest],
+        *,
+        trace_id: str | None = None,
+    ) -> Job:
         """Queue a batch of scheduling requests as one job."""
         if not requests:
             raise RequestError("'requests' must be a non-empty list")
-        return self._enqueue(Job(self._next_id(), "sweep", list(requests)))
+        return self._enqueue(
+            Job(self._next_id(), "sweep", list(requests), trace_id=trace_id)
+        )
 
     def submit_grid(
-        self, grid: str, *, quick: bool = False, jobs: int | None = None
+        self,
+        grid: str,
+        *,
+        quick: bool = False,
+        jobs: int | None = None,
+        trace_id: str | None = None,
     ) -> Job:
         """Queue a named experiment grid (``repro-vliw sweep`` as a job)."""
         if grid not in GRIDS:
@@ -437,7 +555,14 @@ class SchedulingService:
                 f"unknown grid {grid!r}; known: {sorted(GRIDS)}"
             )
         return self._enqueue(
-            Job(self._next_id(), "grid", grid=grid, quick=quick, jobs=jobs)
+            Job(
+                self._next_id(),
+                "grid",
+                grid=grid,
+                quick=quick,
+                jobs=jobs,
+                trace_id=trace_id,
+            )
         )
 
     def job(self, job_id: str) -> Job | None:
@@ -480,12 +605,19 @@ class SchedulingService:
     # Stats / health
     # ------------------------------------------------------------------
     def stats(self) -> dict[str, Any]:
-        """The ``GET /stats`` body: queue, dedupe and cache accounting."""
+        """The ``GET /stats`` body: queue, dedupe and cache accounting.
+
+        ``hit_rate`` is the ratio ``cached / (cached + executed)`` over
+        distinct points; the ``counters`` block breaks the cached side
+        into its explicit sources (memo vs disk) plus the failed and
+        in-batch-deduped totals — the same fields ``/metrics`` exports.
+        """
         with self._lock:
             by_status: dict[str, int] = {}
             for job in self._jobs.values():
                 by_status[job.status] = by_status.get(job.status, 0) + 1
-            points_total = self._points_executed + self._points_cached
+            points_cached = self._points_memo + self._points_disk
+            points_total = self._points_executed + points_cached
             doc = {
                 "uptime_s": time.time() - self.started_unix,
                 "workers": self.workers,
@@ -495,18 +627,29 @@ class SchedulingService:
                 "requests_total": self._requests_total,
                 "batches": self._batches,
                 "points_executed": self._points_executed,
-                "points_cached": self._points_cached,
+                "points_cached": points_cached,
                 "hit_rate": (
-                    self._points_cached / points_total if points_total else 0.0
+                    points_cached / points_total if points_total else 0.0
                 ),
+                "counters": {
+                    "executed": self._points_executed,
+                    "memo_hits": self._points_memo,
+                    "disk_hits": self._points_disk,
+                    "failed": self._points_failed,
+                    "deduped": self._points_deduped,
+                },
                 "memo_entries": len(self._memo),
             }
         if self.cache is not None:
+            cache_probes = self.cache.hits + self.cache.misses
             doc["cache"] = {
                 "root": str(self.cache.root),
                 "hits": self.cache.hits,
                 "misses": self.cache.misses,
                 "writes": self.cache.writes,
+                "hit_rate": (
+                    self.cache.hits / cache_probes if cache_probes else 0.0
+                ),
             }
         else:
             doc["cache"] = None
@@ -616,6 +759,7 @@ class SchedulingService:
 
     def _run_point_jobs(self, jobs: list[Job]) -> None:
         """Execute one coalesced batch of schedule/sweep jobs."""
+        batch_t0 = time.perf_counter()
         now = time.time()
         for job in jobs:
             job.status = "running"
@@ -624,6 +768,7 @@ class SchedulingService:
         # Dedupe the whole batch down to distinct scenario points.
         unique: dict[str, GridItem] = {}
         order: list[tuple[Job, list[str]]] = []
+        requested = 0
         for job in jobs:
             keys = []
             for request in job.requests:
@@ -631,19 +776,25 @@ class SchedulingService:
                 key = point.canonical()
                 unique.setdefault(key, (point, loop))
                 keys.append(key)
+                requested += 1
             order.append((job, keys))
 
         # Serve what we can from the memo and the on-disk cache.
         payloads: dict[str, dict[str, Any]] = {}
         cached_keys: set[str] = set()
+        memo_hits = 0
+        disk_hits = 0
         misses: list[tuple[str, GridItem]] = []
         for key, (point, loop) in unique.items():
             hit = self._memo.get(key)
-            if hit is None and self.cache is not None:
+            if hit is not None:
+                memo_hits += 1
+            elif self.cache is not None:
                 result = self.cache.get(point)
                 if result is not None:
                     hit = result_payload(point, result)
                     self._memo_put(key, hit)
+                    disk_hits += 1
             if hit is not None:
                 payloads[key] = hit
                 cached_keys.add(key)
@@ -682,7 +833,11 @@ class SchedulingService:
         with self._lock:
             self._batches += 1
             self._points_executed += len(misses) - len(failed)
-            self._points_cached += len(cached_keys)
+            self._points_memo += memo_hits
+            self._points_disk += disk_hits
+            self._points_failed += len(failed)
+            self._points_deduped += requested - len(unique)
+        self._batch_seconds.observe(time.perf_counter() - batch_t0)
 
         # Hand every job its per-request results, in request order.
         seen: set[str] = set()
@@ -721,7 +876,8 @@ class SchedulingService:
         with self._lock:
             self._batches += 1
             self._points_executed += ctx.stats.executed
-            self._points_cached += ctx.stats.cached
+            # Grid cache hits come from run_sweep's disk probe.
+            self._points_disk += ctx.stats.cached
         job._finish("done")
 
 

@@ -14,6 +14,7 @@ Routes::
     GET  /jobs/<id>  job status + results when done
     GET  /healthz    liveness probe
     GET  /stats      queue / dedupe / cache counters
+    GET  /metrics    Prometheus text exposition of the service registry
 
 ``POST`` bodies accept ``"wait"`` (default ``true``: block until the job
 completes and inline its results) and ``"timeout_s"`` (default 300; on
@@ -21,15 +22,27 @@ expiry the response is ``202`` with the job id, and the client polls
 ``/jobs/<id>``).  Errors are JSON too: ``{"error": ...}`` with 400 for
 malformed requests, 404 for unknown routes/jobs, 503 while shutting
 down.
+
+Every request is measured into the service's metrics registry
+(``repro_http_requests_total{route,code}`` and the
+``repro_http_request_duration_seconds{route}`` histogram).  ``POST``
+requests carry a trace id: the ``X-Trace-Id`` request header is adopted
+when present (32 hex chars) or generated otherwise, attached to the job
+(visible in ``/jobs/<id>``), and echoed on the response — so a failed
+loadtest request can name the exact server-side job it spawned.
 """
 
 from __future__ import annotations
 
 import json
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any
 
 from .. import __version__
+from ..obs.prom import CONTENT_TYPE as PROM_CONTENT_TYPE
+from ..obs.prom import render as render_metrics
+from ..obs.trace import new_trace_id
 from .core import Job, RequestError, ScheduleRequest, SchedulingService, ServiceClosed
 
 #: Default bind address of ``repro-vliw serve``.
@@ -61,6 +74,16 @@ class ServiceServer(ThreadingHTTPServer):
     ):
         self.service = service
         self.quiet = quiet
+        self.http_requests = service.metrics.counter(
+            "repro_http_requests_total",
+            "HTTP requests served, by route and status code",
+            ("route", "code"),
+        )
+        self.http_seconds = service.metrics.histogram(
+            "repro_http_request_duration_seconds",
+            "HTTP request handling latency, by route",
+            ("route",),
+        )
         super().__init__((host, port), _Handler)
 
     @property
@@ -87,13 +110,35 @@ class _Handler(BaseHTTPRequestHandler):
     def service(self) -> SchedulingService:
         return self.server.service  # type: ignore[attr-defined]
 
+    def _route_label(self) -> str:
+        """The bounded route label for metrics (no per-id cardinality)."""
+        path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        if path.startswith("/jobs/"):
+            return "/jobs"
+        if path in ("/schedule", "/sweep", "/healthz", "/stats", "/metrics"):
+            return path
+        return "other"
+
     def _send_json(self, code: int, payload: dict[str, Any]) -> None:
         body = json.dumps(payload).encode()
         self.send_response(code)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        trace_id = getattr(self, "_trace_id", None)
+        if trace_id:
+            self.send_header("X-Trace-Id", trace_id)
         self.end_headers()
         self.wfile.write(body)
+        self._status_code = code
+
+    def _send_text(self, code: int, body: str, content_type: str) -> None:
+        data = body.encode()
+        self.send_response(code)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(data)))
+        self.end_headers()
+        self.wfile.write(data)
+        self._status_code = code
 
     def _read_body(self) -> dict[str, Any]:
         length = int(self.headers.get("Content-Length") or 0)
@@ -116,12 +161,38 @@ class _Handler(BaseHTTPRequestHandler):
         return data
 
     # ------------------------------------------------------------------
+    def _measured(self, handler) -> None:
+        """Run one request handler, recording latency and status code."""
+        route = self._route_label()
+        self._status_code = 0
+        self._trace_id = None  # reset per request (keep-alive reuses handlers)
+        t0 = time.perf_counter()
+        try:
+            handler()
+        finally:
+            elapsed = time.perf_counter() - t0
+            server = self.server
+            server.http_seconds.labels(route=route).observe(elapsed)
+            server.http_requests.labels(
+                route=route, code=str(self._status_code or 500)
+            ).inc()
+
     def do_GET(self) -> None:  # noqa: N802 - http.server API
+        self._measured(self._handle_get)
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        self._measured(self._handle_post)
+
+    def _handle_get(self) -> None:
         path = self.path.split("?", 1)[0].rstrip("/") or "/"
         if path == "/healthz":
             self._send_json(200, self.service.healthz())
         elif path == "/stats":
             self._send_json(200, self.service.stats())
+        elif path == "/metrics":
+            self._send_text(
+                200, render_metrics(self.service.metrics), PROM_CONTENT_TYPE
+            )
         elif path.startswith("/jobs/"):
             job_id = path[len("/jobs/"):]
             job = self.service.job(job_id)
@@ -132,7 +203,7 @@ class _Handler(BaseHTTPRequestHandler):
         else:
             self._send_json(404, {"error": f"unknown path {self.path!r}"})
 
-    def do_POST(self) -> None:  # noqa: N802 - http.server API
+    def _handle_post(self) -> None:
         path = self.path.split("?", 1)[0].rstrip("/")
         if path not in ("/schedule", "/sweep"):
             # Unknown routes are 404 regardless of body validity (and
@@ -140,6 +211,7 @@ class _Handler(BaseHTTPRequestHandler):
             self.rfile.read(int(self.headers.get("Content-Length") or 0))
             self._send_json(404, {"error": f"unknown path {self.path!r}"})
             return
+        self._trace_id = self._request_trace_id()
         try:
             data = self._read_body()
             if path == "/schedule":
@@ -150,6 +222,13 @@ class _Handler(BaseHTTPRequestHandler):
             self._send_json(400, {"error": str(exc)})
         except ServiceClosed as exc:
             self._send_json(503, {"error": str(exc)})
+
+    def _request_trace_id(self) -> str:
+        """The client's ``X-Trace-Id`` when plausible, else a fresh one."""
+        supplied = (self.headers.get("X-Trace-Id") or "").strip().lower()
+        if supplied and len(supplied) <= 64 and supplied.isalnum():
+            return supplied
+        return new_trace_id()
 
     # ------------------------------------------------------------------
     @staticmethod
@@ -178,7 +257,7 @@ class _Handler(BaseHTTPRequestHandler):
     def _post_schedule(self, data: dict[str, Any]) -> None:
         wait, timeout = self._wait_params(data)
         request = ScheduleRequest.from_payload(data)
-        job = self.service.submit_schedule(request)
+        job = self.service.submit_schedule(request, trace_id=self._trace_id)
         if not wait:
             self._send_json(202, job.snapshot(include_results=False))
             return
@@ -209,7 +288,9 @@ class _Handler(BaseHTTPRequestHandler):
             unknown = sorted(set(data))
             if unknown:
                 raise RequestError(f"unknown request field(s): {unknown}")
-            job = self.service.submit_grid(grid, quick=quick, jobs=jobs)
+            job = self.service.submit_grid(
+                grid, quick=quick, jobs=jobs, trace_id=self._trace_id
+            )
             self._respond_job(job, wait, timeout)
             return
         requests = data.pop("requests", None)
@@ -221,5 +302,5 @@ class _Handler(BaseHTTPRequestHandler):
         if unknown:
             raise RequestError(f"unknown request field(s): {unknown}")
         parsed = [ScheduleRequest.from_payload(item) for item in requests]
-        job = self.service.submit_sweep(parsed)
+        job = self.service.submit_sweep(parsed, trace_id=self._trace_id)
         self._respond_job(job, wait, timeout)

@@ -361,6 +361,165 @@ class TestLoadtest:
 
 
 # ---------------------------------------------------------------------------
+# Observability: /metrics, /stats counters, trace ids
+# ---------------------------------------------------------------------------
+class TestObservability:
+    def _scrape(self, server):
+        import urllib.request
+
+        from repro.obs import prom
+
+        with urllib.request.urlopen(f"{server.url}/metrics", timeout=10) as resp:
+            assert resp.headers["Content-Type"] == prom.CONTENT_TYPE
+            return prom.parse(resp.read().decode())
+
+    def test_metrics_scrape_is_valid_and_matches_stats(self, client, server):
+        client.schedule({"kernel": "daxpy"})
+        client.schedule({"kernel": "daxpy"})  # memo hit
+        families = self._scrape(server)
+        # The scraped names are a public contract (CI gates on them).
+        for required in (
+            "repro_requests_total",
+            "repro_points_executed_total",
+            "repro_points_memo_hits_total",
+            "repro_cache_hits_total",
+            "repro_cache_misses_total",
+            "repro_http_requests_total",
+            "repro_http_request_duration_seconds",
+            "repro_batch_duration_seconds",
+            "repro_queue_depth",
+            "repro_pool_live",
+        ):
+            assert required in families, f"missing {required}"
+        values = {
+            (s.name, s.labels): s.value
+            for fam in families.values()
+            for s in fam.samples
+        }
+        stats = client.stats()
+        # Counters are callback-backed reads of the same integers /stats
+        # reports, so the two views cannot drift.
+        assert values[("repro_requests_total", ())] == stats["requests_total"]
+        assert (
+            values[("repro_points_executed_total", ())]
+            == stats["counters"]["executed"]
+            == stats["points_executed"]
+            == 1
+        )
+        assert (
+            values[("repro_points_memo_hits_total", ())]
+            == stats["counters"]["memo_hits"]
+            == 1
+        )
+        assert values[("repro_cache_hits_total", ())] == stats["cache"]["hits"]
+        assert (
+            values[("repro_cache_misses_total", ())]
+            == stats["cache"]["misses"]
+        )
+
+    def test_http_request_metrics_label_routes(self, client, server):
+        client.schedule({"kernel": "vadd"})
+        client.healthz()
+        doc = client.schedule({"kernel": "vadd"}, wait=False)
+        client.poll_job(doc["job"], timeout=30.0)
+        families = self._scrape(server)
+        values = {
+            (s.name, s.labels): s.value
+            for fam in families.values()
+            for s in fam.samples
+        }
+        post = ("repro_http_requests_total", (("route", "/schedule"), ("code", "200")))
+        assert values[post] >= 1
+        # /jobs/<id> collapses to one bounded label value.
+        jobs = [
+            labels
+            for (name, labels) in values
+            if name == "repro_http_requests_total"
+            and dict(labels).get("route", "").startswith("/jobs")
+        ]
+        assert jobs and all(dict(lb)["route"] == "/jobs" for lb in jobs)
+        hist_count = (
+            "repro_http_request_duration_seconds_count",
+            (("route", "/schedule"),),
+        )
+        assert values[hist_count] >= 1
+
+    def test_stats_hit_rate_is_a_ratio(self, client):
+        client.schedule({"kernel": "dot"})
+        client.schedule({"kernel": "dot"})
+        stats = client.stats()
+        counters = stats["counters"]
+        served = counters["executed"] + counters["memo_hits"] + counters["disk_hits"]
+        assert stats["points_cached"] == counters["memo_hits"] + counters["disk_hits"]
+        assert stats["hit_rate"] == pytest.approx(
+            stats["points_cached"] / served
+        )
+        assert 0.0 <= stats["cache"]["hit_rate"] <= 1.0
+
+    def test_trace_id_adopted_and_echoed(self, client, server):
+        import urllib.request
+
+        trace_id = "feed" * 8  # 32 hex chars
+        body = json.dumps({"kernel": "daxpy", "wait": True}).encode()
+        request = urllib.request.Request(
+            f"{server.url}/schedule",
+            data=body,
+            method="POST",
+            headers={
+                "Content-Type": "application/json",
+                "X-Trace-Id": trace_id,
+            },
+        )
+        with urllib.request.urlopen(request, timeout=30) as resp:
+            assert resp.headers["X-Trace-Id"] == trace_id
+            doc = json.loads(resp.read())
+        assert doc["trace_id"] == trace_id
+        # The job document is retrievable by id and carries the trace id.
+        assert client.job(doc["job"])["trace_id"] == trace_id
+
+    def test_implausible_trace_id_replaced(self, server):
+        import urllib.request
+
+        body = json.dumps({"kernel": "daxpy", "wait": True}).encode()
+        request = urllib.request.Request(
+            f"{server.url}/schedule",
+            data=body,
+            method="POST",
+            headers={
+                "Content-Type": "application/json",
+                "X-Trace-Id": "not valid! way too weird",
+            },
+        )
+        with urllib.request.urlopen(request, timeout=30) as resp:
+            echoed = resp.headers["X-Trace-Id"]
+        assert echoed and echoed.isalnum() and echoed != "not valid! way too weird"
+
+    def test_loadtest_report_carries_failure_trace_ids(self, server):
+        report = run_loadtest(
+            port=server.port, clients=2, requests=8, verify=False
+        )
+        assert report.ok and report.failures == []
+        doc = report.to_dict()
+        assert doc["latency_histogram"]["count"] == 8
+        assert doc["latency_histogram"]["buckets"][-1]["le"] == "+Inf"
+        # Unknown-kernel requests fail; each failure names its trace id.
+        bad = run_loadtest(
+            port=server.port,
+            clients=1,
+            requests=2,
+            mix=[{"kernel": "no-such-kernel"}],
+            verify=False,
+        )
+        assert not bad.ok
+        assert len(bad.failures) == 2
+        assert all(f["kind"] == "error" for f in bad.failures)
+        assert all(
+            isinstance(f["trace_id"], str) and f["trace_id"]
+            for f in bad.failures
+        )
+
+
+# ---------------------------------------------------------------------------
 # Shutdown
 # ---------------------------------------------------------------------------
 class TestShutdown:
