@@ -9,8 +9,10 @@ Commands map one-to-one onto the paper's artefacts::
     repro-vliw fig8  [--quick]     # per-program IPC grid
     repro-vliw fig9  [--quick]     # cycle-time-aware speed-ups
     repro-vliw fig10 [--quick]     # code-size impact
-    repro-vliw schedule KERNEL     # schedule a named kernel and print it
-    repro-vliw schedule --list     # the kernel/alias catalogue
+    repro-vliw gap   [--quick]     # heuristic-vs-optimal II/MaxLive table
+    repro-vliw schedule KERNEL [--scheduler NAME]
+                                   # schedule a named kernel and print it
+    repro-vliw schedule --list     # the kernel and scheduler catalogues
     repro-vliw simulate KERNEL [--niter N] [--miss-rate R]
                                    # execute the emitted code cycle by cycle
     repro-vliw crossval [--quick]  # Figure 8 grid re-run under simulation
@@ -21,7 +23,7 @@ Commands map one-to-one onto the paper's artefacts::
     repro-vliw submit KERNEL       # schedule via a running service
     repro-vliw loadtest            # drive N concurrent synthetic clients
 
-Every grid command (fig4/fig8/fig9/fig10, crossval, sweep) executes
+Every grid command (fig4/fig8/fig9/fig10, gap, crossval, sweep) executes
 through the parallel, cache-backed runner: ``--jobs N`` shards the work
 across N worker processes, results persist in the on-disk cache
 (``~/.cache/repro-vliw`` or ``$REPRO_VLIW_CACHE``) so repeated and
@@ -44,8 +46,6 @@ import sys
 
 from .arch.configs import clustered_config, unified_config
 from .codegen.vliw import render_schedule
-from .core.bsa import BsaScheduler
-from .core.unified import UnifiedScheduler
 from .core.verify import verify_schedule
 from .errors import ReproError
 from .experiments import (
@@ -58,8 +58,10 @@ from .experiments import (
     fig8_rows,
     fig9_rows,
     fig10_rows,
+    make_scheduler,
     max_cycle_divergence,
     max_ipc_divergence,
+    render_gap,
     run_crossval,
     run_fig4,
     run_fig7,
@@ -67,12 +69,13 @@ from .experiments import (
     run_fig8,
     run_fig9,
     run_fig10,
+    run_gap,
     run_table1,
     run_table2,
 )
 from .ir.unroll import unroll_graph
 from .perf.report import format_table
-from .runner import GRIDS, ResultCache
+from .runner import GRIDS, SCHEDULERS, ResultCache, scheduler_table
 from .sim import PerfectMemory, RandomMissMemory, crosscheck_schedule
 from .workloads.kernels import kernel_table, resolve_kernel
 
@@ -203,6 +206,15 @@ def cmd_fig10(args: argparse.Namespace) -> None:
     _write_report(args, ctx, "fig10")
 
 
+def cmd_gap(args: argparse.Namespace) -> None:
+    ctx = _ctx(args)
+    points = run_gap(ctx, quick=args.quick)
+    print(render_gap(points, args.format))
+    if args.format == "text":
+        print(f"\n[{ctx.stats.render()}]")
+    _write_report(args, ctx, "gap")
+
+
 def _resolve_kernel_or_exit(name: str):
     try:
         return resolve_kernel(name)[1]
@@ -211,12 +223,17 @@ def _resolve_kernel_or_exit(name: str):
 
 
 def _schedule_kernel(args: argparse.Namespace, graph):
+    name = getattr(args, "scheduler", "bsa")
     if args.clusters == 1:
         config = unified_config()
-        scheduler = UnifiedScheduler(config)
     else:
         config = clustered_config(args.clusters, args.buses, args.latency)
-        scheduler = BsaScheduler(config)
+    try:
+        scheduler = make_scheduler(name, config)
+    except KeyError:
+        sys.exit(
+            f"schedule: unknown scheduler {name!r}; known: {sorted(SCHEDULERS)}"
+        )
     sched = scheduler.schedule(graph)
     verify_schedule(sched)
     return sched
@@ -229,11 +246,20 @@ def cmd_schedule(args: argparse.Namespace) -> None:
                 kernel_table(), title="Kernels (canonical name and alias)"
             )
         )
+        print()
+        print(
+            format_table(
+                scheduler_table(), title="Schedulers (--scheduler NAME)"
+            )
+        )
         return
     if not args.kernel:
         sys.exit("schedule: a KERNEL name is required (or use --list)")
     factory = _resolve_kernel_or_exit(args.kernel)
-    sched = _schedule_kernel(args, factory())
+    try:
+        sched = _schedule_kernel(args, factory())
+    except ReproError as exc:
+        sys.exit(f"schedule: {exc}")
     print(sched.describe())
     print()
     print(render_schedule(sched))
@@ -548,6 +574,13 @@ def main(argv: list[str] | None = None) -> None:
         if name != "fig7":
             _sweep_flags(p)
         p.set_defaults(func=func)
+    p = sub.add_parser("gap")
+    p.add_argument("--quick", action="store_true")
+    p.add_argument("--format", default="text",
+                   choices=("text", "json", "markdown"),
+                   help="output format (default: text)")
+    _sweep_flags(p)
+    p.set_defaults(func=cmd_gap)
     p = sub.add_parser(
         "sweep", help="run a declared scenario grid through the runner"
     )
@@ -667,10 +700,13 @@ def main(argv: list[str] | None = None) -> None:
     p.set_defaults(func=cmd_cache)
     p = sub.add_parser("schedule")
     p.add_argument("kernel", nargs="?")
-    p.add_argument("--list", action="store_true", help="list kernels and aliases")
+    p.add_argument("--list", action="store_true",
+                   help="list kernels, aliases and schedulers")
     p.add_argument("--clusters", type=int, default=4)
     p.add_argument("--buses", type=int, default=1)
     p.add_argument("--latency", type=int, default=1)
+    p.add_argument("--scheduler", default="bsa",
+                   help="registered scheduler (see --list; default: bsa)")
     p.set_defaults(func=cmd_schedule)
     p = sub.add_parser("simulate")
     p.add_argument("kernel")

@@ -4,6 +4,7 @@ from .base import SchedulerBase, default_ii_budget
 from .bsa import BsaScheduler, cluster_out_edges, join_profit, out_edges_if_joined
 from .comm import AddReader, CommPlan, NewTransfer
 from .engine import FailReason, Placement, PlacementEngine
+from .exact import ExactScheduler, resolve_backend
 from .lifetimes import cluster_pressures, max_pressure, mve_factor, pressure_ok
 from .list_schedule import list_schedule
 from .mii import MiiReport, mii, mii_report, rec_mii, rec_mii_exact, res_mii
@@ -34,6 +35,7 @@ __all__ = [
     "BsaScheduler",
     "CommPlan",
     "Communication",
+    "ExactScheduler",
     "FailReason",
     "FailureLog",
     "MiiReport",
@@ -69,6 +71,7 @@ __all__ = [
     "rec_mii_exact",
     "recurrence_sets",
     "res_mii",
+    "resolve_backend",
     "schedule_with_policy",
     "selective_unroll_decision",
     "sms_order",

@@ -28,6 +28,17 @@ class SchedulingError(ReproError):
         self.ii_tried = ii_tried
 
 
+class ExactTimeout(SchedulingError):
+    """The exact scheduler's search exceeded its size or time budget.
+
+    Subclasses :class:`SchedulingError` so the experiment harness treats a
+    blown budget like any other scheduling failure (fall back to the list
+    schedule, flag the point) instead of crashing a runner worker; callers
+    that care about the distinction — the gap experiment, the differential
+    tests — catch this type specifically.
+    """
+
+
 class VerificationError(ReproError):
     """An independently checked schedule violated a correctness invariant."""
 

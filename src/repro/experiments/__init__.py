@@ -40,6 +40,15 @@ from .fig7 import Fig7Case, fig7_rows, run_fig7, run_fig7_ladder
 from .fig8 import Fig8Point, average_ipc, fig8_grid, fig8_rows, run_fig8
 from .fig9 import Fig9Point, best_speedup, fig9_grid, fig9_rows, run_fig9
 from .fig10 import Fig10Point, fig10_grid, fig10_rows, run_fig10
+from .gap import (
+    GAP_HEURISTICS,
+    GAP_SCHEDULERS,
+    GapPoint,
+    gap_grid,
+    gap_rows,
+    render_gap,
+    run_gap,
+)
 from .tables import run_table1, run_table2
 
 __all__ = [
@@ -51,6 +60,9 @@ __all__ = [
     "Fig8Point",
     "Fig9Point",
     "Fig10Point",
+    "GAP_HEURISTICS",
+    "GAP_SCHEDULERS",
+    "GapPoint",
     "average_ipc",
     "best_speedup",
     "config_label",
@@ -65,13 +77,17 @@ __all__ = [
     "fig8_rows",
     "fig9_grid",
     "fig9_rows",
+    "gap_grid",
+    "gap_rows",
     "geometric_mean",
     "global_context",
     "make_scheduler",
     "max_cycle_divergence",
     "max_ipc_divergence",
     "paper_machine",
+    "render_gap",
     "run_crossval",
+    "run_gap",
     "run_fig10",
     "run_fig4",
     "run_fig7",

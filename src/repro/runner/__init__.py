@@ -33,6 +33,7 @@ from .engine import (
     make_scheduler,
     make_worker_pool,
     run_sweep,
+    scheduler_table,
     sequential_fallback,
 )
 from .grids import GRIDS, GridSpec
@@ -65,4 +66,5 @@ __all__ = [
     "make_worker_pool",
     "run_sweep",
     "scenario_for",
+    "scheduler_table",
 ]

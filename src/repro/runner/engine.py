@@ -42,6 +42,7 @@ from typing import Any, Callable
 from ..arch.cluster import MachineConfig
 from ..core.base import SchedulerBase
 from ..core.bsa import BsaScheduler
+from ..core.exact import ExactScheduler
 from ..core.list_schedule import list_schedule
 from ..core.selective import (
     ScheduledLoopResult,
@@ -64,8 +65,10 @@ from .scenario import GridItem, PointResult, ScenarioPoint, SimOutcome
 #: Scheduler factory signature: config -> scheduler.
 SchedulerFactory = Callable[[MachineConfig], SchedulerBase]
 
-#: Registered clustered schedulers, by the names used in scenario points,
-#: experiment grids and ablation studies.
+#: Registered schedulers, by the names used in scenario points,
+#: experiment grids and ablation studies.  ``exact`` resolves its backend
+#: (pure-python branch and bound vs z3) when instantiated — i.e. here, at
+#: registry time.
 SCHEDULERS: dict[str, SchedulerFactory] = {
     "bsa": lambda cfg: BsaScheduler(cfg),
     "two-phase": lambda cfg: TwoPhaseScheduler(cfg),
@@ -73,21 +76,46 @@ SCHEDULERS: dict[str, SchedulerFactory] = {
     "bsa-least-loaded": lambda cfg: BsaScheduler(
         cfg, default_cluster_policy="least-loaded"
     ),
+    "exact": lambda cfg: ExactScheduler(cfg),
 }
 
 
 def make_scheduler(name: str, config: MachineConfig) -> SchedulerBase:
-    """Instantiate a registered scheduler (unified machines always get SMS).
+    """Instantiate a registered scheduler.
+
+    Unified machines dispatch every *heuristic* name to the SMS scheduler
+    (the paper's baseline has exactly one modulo scheduler); ``exact`` is
+    honoured on any machine — its whole point is to be an oracle for the
+    others, the unified baseline included.
 
     Raises
     ------
     KeyError
         If *name* is not in :data:`SCHEDULERS` (and the machine is
-        clustered; the unified machine ignores the name).
+        clustered; the unified machine ignores heuristic names).
     """
-    if config.n_clusters == 1:
+    if config.n_clusters == 1 and name != "exact":
         return UnifiedScheduler(config)
     return SCHEDULERS[name](config)
+
+
+def scheduler_table() -> list[dict]:
+    """The scheduler registry as table rows (feeds ``schedule --list``)."""
+    from ..arch.configs import two_cluster_config
+
+    probe = two_cluster_config()
+    rows = []
+    for name in sorted(SCHEDULERS):
+        cls = type(SCHEDULERS[name](probe))
+        doc = (cls.__doc__ or "").strip().splitlines()
+        rows.append(
+            {
+                "scheduler": name,
+                "class": cls.__name__,
+                "description": doc[0] if doc else "",
+            }
+        )
+    return rows
 
 
 def sequential_fallback(

@@ -117,6 +117,13 @@ def _run_crossval(ctx: "ExperimentContext", quick: bool) -> str:
     )
 
 
+def _run_gap(ctx: "ExperimentContext", quick: bool) -> str:
+    from ..experiments import render_gap, run_gap
+
+    points = run_gap(ctx, quick=quick)
+    return render_gap(points, "text")
+
+
 def _run_ablation(ctx: "ExperimentContext", quick: bool) -> str:
     from dataclasses import asdict
 
@@ -155,6 +162,11 @@ GRIDS: dict[str, GridSpec] = {
             "crossval",
             "Figure 8 grid re-run on the cycle-accurate simulator",
             _run_crossval,
+        ),
+        GridSpec(
+            "gap",
+            "heuristic-vs-optimal II and MaxLive (exact backend oracle)",
+            _run_gap,
         ),
         GridSpec(
             "ablation",

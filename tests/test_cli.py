@@ -84,6 +84,52 @@ class TestCliSchedule:
         out = capsys.readouterr().out
         assert "II=3" in out  # serial reduction: RecMII
 
+    def test_schedule_exact_scheduler(self, capsys):
+        main(["schedule", "daxpy", "--clusters", "2", "--scheduler", "exact"])
+        out = capsys.readouterr().out
+        assert "II=1" in out  # optimal: the heuristics need extra MaxLive
+        assert "kernel" in out
+
+    def test_schedule_exact_unified(self, capsys):
+        main(["schedule", "dot", "--clusters", "1", "--scheduler", "exact"])
+        out = capsys.readouterr().out
+        assert "II=3" in out  # serial reduction: RecMII, same as SMS
+
+    def test_list_includes_scheduler_table(self, capsys):
+        main(["schedule", "--list"])
+        out = capsys.readouterr().out
+        assert "daxpy" in out  # kernel catalogue still listed
+        assert "exact" in out
+        assert "ExactScheduler" in out
+        assert "bsa" in out
+
+    def test_unknown_scheduler_is_a_usage_error(self, capsys):
+        """A typo'd --scheduler exits with a one-line message, not a
+        traceback (the registry KeyError must not escape)."""
+        with pytest.raises(SystemExit) as err:
+            main(["schedule", "daxpy", "--scheduler", "nope"])
+        message = str(err.value)
+        assert "unknown scheduler 'nope'" in message
+        assert "exact" in message  # the known list names the oracle too
+
+    def test_oversized_exact_kernel_exits_cleanly(self, capsys):
+        """ExactTimeout surfaces as a clean CLI error, not a traceback."""
+        from unittest import mock
+
+        from repro.core.exact import ExactScheduler
+
+        original = ExactScheduler.__init__
+
+        def tiny(self, config, **kwargs):
+            kwargs["max_nodes"] = 4
+            original(self, config, **kwargs)
+
+        with mock.patch.object(ExactScheduler, "__init__", tiny):
+            with pytest.raises(SystemExit) as err:
+                main(["schedule", "fir4", "--clusters", "2",
+                      "--scheduler", "exact"])
+        assert "exact-search limit" in str(err.value)
+
     def test_unknown_kernel_exits(self):
         with pytest.raises(SystemExit):
             main(["schedule", "nonsense"])
@@ -91,3 +137,41 @@ class TestCliSchedule:
     def test_missing_command_exits(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestCliGap:
+    def test_gap_quick_table(self, capsys, tmp_path):
+        main(["gap", "--quick", "--cache-dir", str(tmp_path)])
+        out = capsys.readouterr().out
+        assert "Heuristic vs optimal" in out
+        assert "figure7" in out
+        assert "exact_ii" in out
+        assert "point(s)" in out  # sweep stats footer
+
+    def test_gap_markdown_and_json(self, capsys, tmp_path):
+        import json
+
+        main(["gap", "--quick", "--format", "markdown",
+              "--cache-dir", str(tmp_path)])
+        md = capsys.readouterr().out
+        assert md.startswith("| kernel |")
+        main(["gap", "--quick", "--format", "json",
+              "--cache-dir", str(tmp_path)])
+        rows = json.loads(capsys.readouterr().out)
+        by_kernel = {
+            (r["kernel"], r["config"]): r for r in rows
+        }
+        fig7 = by_kernel[("figure7", "2-cluster/b1/l1")]
+        assert fig7["exact_ii"] == 2
+        assert fig7["bsa_ii"] == 3
+        assert fig7["ii_gap"] == 1
+
+    def test_gap_report_out(self, capsys, tmp_path):
+        report = tmp_path / "gap.json"
+        main(["gap", "--quick", "--cache-dir", str(tmp_path / "cache"),
+              "--report-out", str(report)])
+        capsys.readouterr()
+        assert report.exists()
+        main(["report", str(report), "--by", "scheduler"])
+        out = capsys.readouterr().out
+        assert "exact" in out

@@ -1,0 +1,288 @@
+"""Tests for the exact (optimal) scheduler backend (:mod:`repro.core.exact`).
+
+Covers backend resolution (bnb / z3 / auto / env override), the registry
+wiring, pinned optimality results — kernels where the oracle provably
+beats the heuristics — the size/time guards, and simulator validation of
+the exact schedules.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch.configs import (
+    clustered_config,
+    two_cluster_config,
+    unified_config,
+)
+from repro.core.bsa import BsaScheduler
+from repro.core.exact import (
+    DEFAULT_MAX_NODES,
+    EXACT_BACKEND_ENV,
+    HAVE_Z3,
+    ExactScheduler,
+    resolve_backend,
+)
+from repro.core.lifetimes import cluster_pressures, max_pressure
+from repro.core.mii import mii
+from repro.core.twophase import TwoPhaseScheduler
+from repro.core.unified import UnifiedScheduler
+from repro.core.verify import verify_schedule
+from repro.errors import ConfigError, ExactTimeout, SchedulingError
+from repro.runner.engine import SCHEDULERS, make_scheduler, scheduler_table
+from repro.sim import crosscheck_schedule
+from repro.workloads.kernels import resolve_kernel
+
+
+def kernel_graph(name: str):
+    return resolve_kernel(name)[1]()
+
+
+def exact(config, **kwargs) -> ExactScheduler:
+    kwargs.setdefault("backend", "bnb")
+    return ExactScheduler(config, **kwargs)
+
+
+# ---------------------------------------------------------------------------
+# Backend resolution
+# ---------------------------------------------------------------------------
+class TestBackendResolution:
+    def test_bnb_always_available(self):
+        assert resolve_backend("bnb") == "bnb"
+
+    def test_auto_follows_z3_availability(self, monkeypatch):
+        monkeypatch.delenv(EXACT_BACKEND_ENV, raising=False)
+        assert resolve_backend("auto") == ("z3" if HAVE_Z3 else "bnb")
+
+    def test_env_var_overrides_auto(self, monkeypatch):
+        monkeypatch.setenv(EXACT_BACKEND_ENV, "bnb")
+        assert resolve_backend("auto") == "bnb"
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ConfigError, match="backend"):
+            resolve_backend("simplex")
+
+    def test_env_var_unknown_backend_rejected(self, monkeypatch):
+        monkeypatch.setenv(EXACT_BACKEND_ENV, "simplex")
+        with pytest.raises(ConfigError, match="simplex"):
+            resolve_backend("auto")
+
+    @pytest.mark.skipif(HAVE_Z3, reason="z3 is installed here")
+    def test_explicit_z3_without_z3_is_a_config_error(self):
+        with pytest.raises(ConfigError, match="z3"):
+            resolve_backend("z3")
+
+    def test_scheduler_resolves_backend_at_construction(self, monkeypatch):
+        monkeypatch.delenv(EXACT_BACKEND_ENV, raising=False)
+        sched = ExactScheduler(two_cluster_config())
+        assert sched.backend == ("z3" if HAVE_Z3 else "bnb")
+
+
+# ---------------------------------------------------------------------------
+# Registry wiring
+# ---------------------------------------------------------------------------
+class TestRegistry:
+    def test_exact_is_registered(self):
+        assert "exact" in SCHEDULERS
+        sched = make_scheduler("exact", two_cluster_config())
+        assert isinstance(sched, ExactScheduler)
+
+    def test_exact_honoured_on_unified_machines(self):
+        # Heuristic names collapse to the SMS scheduler on one cluster;
+        # the oracle must survive the dispatch (it oracles SMS too).
+        assert isinstance(
+            make_scheduler("bsa", unified_config()), UnifiedScheduler
+        )
+        assert isinstance(
+            make_scheduler("exact", unified_config()), ExactScheduler
+        )
+
+    def test_scheduler_table_lists_exact(self):
+        rows = scheduler_table()
+        names = [row["scheduler"] for row in rows]
+        assert "exact" in names and "bsa" in names
+        by_name = {row["scheduler"]: row for row in rows}
+        assert by_name["exact"]["class"] == "ExactScheduler"
+        assert by_name["exact"]["description"]
+
+
+# ---------------------------------------------------------------------------
+# Pinned optimality results
+# ---------------------------------------------------------------------------
+class TestOptimality:
+    def test_figure7_beats_both_heuristics(self):
+        """The paper's own example: optimal II=2 where BSA/two-phase get 3."""
+        config = two_cluster_config()
+        g = kernel_graph("figure7")
+        best = exact(config).schedule(g)
+        assert best.ii == 2 == mii(g, config)
+        assert BsaScheduler(config).schedule(g).ii == 3
+        assert TwoPhaseScheduler(config).schedule(g).ii == 3
+
+    def test_fir4_beats_both_heuristics(self):
+        config = two_cluster_config()
+        g = kernel_graph("fir4")
+        best = exact(config).schedule(g)
+        assert best.ii == 2
+        assert BsaScheduler(config).schedule(g).ii == 3
+        assert TwoPhaseScheduler(config).schedule(g).ii == 3
+
+    def test_ladder_is_provably_bus_limited(self):
+        """On the slow fabric the oracle proves II=MII is infeasible.
+
+        MII counts resources and recurrences but not bus bandwidth; the
+        ladder kernel forces cross-cluster traffic that a latency-2 bus
+        cannot carry at II=3, and the exhaustive search certifies it.
+        """
+        config = clustered_config(2, 1, 2)
+        g = kernel_graph("ladder")
+        best = exact(config).schedule(g)
+        assert mii(g, config) == 3
+        assert best.ii == 4
+
+    def test_exact_matches_unified_sms_on_one_cluster(self):
+        config = unified_config()
+        for name in ("daxpy", "figure7", "hydro"):
+            g = kernel_graph(name)
+            assert exact(config).schedule(g).ii == (
+                UnifiedScheduler(config).schedule(g).ii
+            ), name
+
+    def test_maxlive_refinement_beats_bsa_on_daxpy(self):
+        config = two_cluster_config()
+        g = kernel_graph("daxpy")
+        best = exact(config).schedule(g)
+        heuristic = BsaScheduler(config).schedule(g)
+        assert best.ii == heuristic.ii == 1
+        assert max_pressure(best) < max_pressure(heuristic)
+
+    def test_minimize_pressure_flag_off_keeps_optimal_ii(self):
+        config = two_cluster_config()
+        g = kernel_graph("figure7")
+        fast = exact(config, minimize_pressure=False).schedule(g)
+        assert fast.ii == 2
+        verify_schedule(fast)
+
+
+# ---------------------------------------------------------------------------
+# Size and time guards
+# ---------------------------------------------------------------------------
+class TestGuards:
+    def test_oversized_graph_fails_fast(self):
+        g = kernel_graph("figure7")  # 6 nodes
+        with pytest.raises(ExactTimeout, match="exact-search limit of 4"):
+            exact(two_cluster_config(), max_nodes=4).schedule(g)
+
+    def test_default_node_limit_documented_in_message(self):
+        big = kernel_graph("stencil5")
+        scheduler = exact(two_cluster_config(), max_nodes=len(big) - 1)
+        with pytest.raises(ExactTimeout, match=str(len(big) - 1)):
+            scheduler.schedule(big)
+        assert len(big) <= DEFAULT_MAX_NODES  # catalogue fits the default
+
+    def test_zero_time_budget_times_out(self):
+        g = kernel_graph("figure7")
+        with pytest.raises(ExactTimeout, match="budget"):
+            exact(two_cluster_config(), time_budget_s=0.0).schedule(g)
+
+    def test_timeout_is_a_scheduling_error(self):
+        """The runner's fallback path catches SchedulingError; a blown
+        exact budget must ride that path instead of crashing a worker."""
+        assert issubclass(ExactTimeout, SchedulingError)
+
+    def test_empty_graph_rejected(self):
+        from repro.ir.ddg import DependenceGraph
+
+        with pytest.raises(SchedulingError, match="no operations"):
+            exact(two_cluster_config()).schedule(DependenceGraph("empty"))
+
+
+# ---------------------------------------------------------------------------
+# Exact schedules are real schedules
+# ---------------------------------------------------------------------------
+QUICK_ORACLE_KERNELS = (
+    "daxpy",
+    "vadd",
+    "dot",
+    "rec1",
+    "gather",
+    "fib",
+    "figure7",
+    "tridiag",
+    "hydro",
+    "stencil3",
+    "fir4",
+    "sqrtnorm",
+)
+
+
+class TestExactSchedulesAreValid:
+    @pytest.mark.parametrize("name", QUICK_ORACLE_KERNELS)
+    def test_verified_simulated_and_never_worse(self, name):
+        """Every quick-catalogue exact schedule passes the independent
+        verifier, executes cycle-exactly on the simulator, and its II is
+        <= every heuristic that succeeds on the same machine."""
+        config = two_cluster_config()
+        g = kernel_graph(name)
+        best = exact(config).schedule(g)
+        verify_schedule(best)
+        assert best.ii >= mii(g, config)
+        check = crosscheck_schedule(
+            best, 20, ops_per_source_iteration=len(g)
+        )
+        assert check.simulated_cycles == check.analytic_cycles
+        for scheduler in (BsaScheduler(config), TwoPhaseScheduler(config)):
+            try:
+                heuristic = scheduler.schedule(g)
+            except SchedulingError:
+                continue
+            assert best.ii <= heuristic.ii, (name, type(scheduler).__name__)
+
+    def test_pressure_accounting_agrees_with_tracker(self):
+        from repro.core.pressure import PressureTracker
+
+        config = two_cluster_config()
+        best = exact(config).schedule(kernel_graph("figure7"))
+        tracker = PressureTracker(best)
+        tracker.rebuild()
+        assert tracker.pressures() == cluster_pressures(best)
+        assert max_pressure(best) == max(cluster_pressures(best).values())
+
+    def test_exact_is_deterministic(self):
+        config = two_cluster_config()
+        g = kernel_graph("fir4")
+        s1 = exact(config).schedule(g)
+        s2 = exact(config).schedule(g)
+        assert s1.ii == s2.ii
+        assert {n: (o.cycle, o.cluster) for n, o in s1.ops.items()} == {
+            n: (o.cycle, o.cluster) for n, o in s2.ops.items()
+        }
+
+
+# ---------------------------------------------------------------------------
+# z3 backend (exercised when the optional extra is installed)
+# ---------------------------------------------------------------------------
+class TestZ3Backend:
+    @pytest.fixture(autouse=True)
+    def _require_z3(self):
+        pytest.importorskip("z3")
+
+    def test_z3_matches_bnb_optimal_ii(self):
+        config = two_cluster_config()
+        for name in ("daxpy", "figure7", "fir4"):
+            g = kernel_graph(name)
+            via_z3 = ExactScheduler(config, backend="z3").schedule(g)
+            via_bnb = exact(config).schedule(g)
+            assert via_z3.ii == via_bnb.ii, name
+            verify_schedule(via_z3)
+
+    def test_z3_schedules_simulate_exactly(self):
+        config = two_cluster_config()
+        g = kernel_graph("figure7")
+        sched = ExactScheduler(config, backend="z3").schedule(g)
+        check = crosscheck_schedule(sched, 20, ops_per_source_iteration=len(g))
+        assert check.simulated_cycles == check.analytic_cycles
+
+    def test_env_var_selects_z3(self, monkeypatch):
+        monkeypatch.setenv(EXACT_BACKEND_ENV, "z3")
+        assert ExactScheduler(two_cluster_config()).backend == "z3"

@@ -141,6 +141,21 @@ class TestScheduleEndpoint:
         main(["submit", "dot", "--clusters", "4", "--port", str(server.port)])
         assert capsys.readouterr().out == expected
 
+    def test_exact_scheduler_roundtrips_byte_identically(self, server, capsys):
+        """``"scheduler": "exact"`` over HTTP == the CLI's direct path."""
+        main(["schedule", "daxpy", "--clusters", "2", "--scheduler", "exact"])
+        expected = capsys.readouterr().out
+        assert "II=1" in expected  # the oracle's optimum, not a fallback
+        main(["submit", "daxpy", "--clusters", "2", "--scheduler", "exact",
+              "--port", str(server.port)])
+        assert capsys.readouterr().out == expected
+
+    def test_exact_scheduler_accepted_by_validation(self):
+        req = ScheduleRequest.from_payload(
+            {"kernel": "daxpy", "scheduler": "exact", "clusters": 2}
+        )
+        assert req.scheduler == "exact"
+
     def test_simulated_request(self, client):
         doc = client.schedule(
             {"kernel": "daxpy", "clusters": 2, "simulate": True, "niter": 50}
@@ -257,6 +272,13 @@ class TestErrorMapping:
             client.schedule({"kernel": "nope"})
         assert err.value.status == 400
         assert "unknown kernel" in str(err.value)
+
+    def test_unknown_scheduler_400(self, client):
+        with pytest.raises(ClientError) as err:
+            client.schedule({"kernel": "dot", "scheduler": "nope"})
+        assert err.value.status == 400
+        assert "unknown scheduler" in str(err.value)
+        assert "exact" in str(err.value)  # the known list is in the message
 
     def test_empty_sweep_400(self, client):
         with pytest.raises(ClientError) as err:
