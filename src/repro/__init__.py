@@ -91,7 +91,7 @@ from .sim import (
     simulate_schedule,
 )
 
-__version__ = "1.5.0"
+__version__ = "1.7.0"
 
 __all__ = [
     "BsaScheduler",

@@ -17,6 +17,10 @@ Commands map one-to-one onto the paper's artefacts::
                                    # execute the emitted code cycle by cycle
     repro-vliw crossval [--quick]  # Figure 8 grid re-run under simulation
     repro-vliw sweep GRID          # run any declared grid via the runner
+    repro-vliw sweep GRID --distributed
+                                   # same grid on fabric workers (byte-identical)
+    repro-vliw worker --coordinator URL
+                                   # pull-based sweep worker for the fabric
     repro-vliw report FILE         # aggregate a recorded run report
     repro-vliw cache [stats|clear] # inspect / wipe the result cache
     repro-vliw serve               # persistent scheduling service (HTTP)
@@ -327,10 +331,138 @@ def cmd_sweep(args: argparse.Namespace) -> None:
     spec = GRIDS.get(args.grid)
     if spec is None:
         sys.exit(f"sweep: unknown grid {args.grid!r}; known: {sorted(GRIDS)}")
+    if args.coordinator and not args.distributed:
+        sys.exit("sweep: --coordinator requires --distributed")
+    if args.distributed:
+        output = _distributed_sweep(args, spec)
+    else:
+        ctx = _ctx(args)
+        output = spec.run(ctx, args.quick)
+        print(output)
+        print(f"\n[{ctx.stats.render()}]")
+        _write_report(args, ctx, args.grid)
+    if args.out:
+        from pathlib import Path
+
+        Path(args.out).write_text(output + "\n")
+        print(f"rendered output -> {args.out}", file=sys.stderr)
+
+
+def _distributed_sweep(args: argparse.Namespace, spec) -> str:
+    """Run one grid on the fabric; returns (and prints) the rendered output.
+
+    Two modes:
+
+    * ``--coordinator URL`` — submit the grid as a distributed job to a
+      *running* ``repro-vliw serve`` instance and let its fabric (and
+      whatever workers are pulling from it) execute the misses.
+    * no ``--coordinator`` — start an **embedded** coordinator: serve on
+      ``--host``/``--port``, print the ``repro-vliw worker`` line to
+      attach workers, run the grid through the fabric, shut down.  The
+      sweep blocks until workers complete it (or ``--timeout`` passes).
+    """
+    from .errors import ServiceError
+
+    if args.coordinator:
+        from .fabric.worker import client_from_url
+
+        try:
+            client = client_from_url(args.coordinator, timeout=args.timeout)
+        except ValueError as exc:
+            sys.exit(f"sweep: {exc}")
+        if not client.wait_until_healthy(timeout=10.0):
+            sys.exit(f"sweep: no service answering at {client.base_url}")
+        try:
+            doc = client.sweep(
+                grid=spec.name,
+                quick=args.quick,
+                distributed=True,
+                timeout_s=args.timeout,
+            )
+            if doc["status"] in ("queued", "running"):
+                doc = client.poll_job(doc["job"], timeout=args.timeout)
+        except ServiceError as exc:
+            sys.exit(f"sweep: {exc}")
+        if doc["status"] != "done":
+            sys.exit(
+                f"sweep: job {doc.get('job')} ended {doc['status']!r}: "
+                f"{doc.get('error')}"
+            )
+        print(doc["output"])
+        return doc["output"]
+
+    import threading
+
+    from .service import SchedulingService, ServiceServer
+
+    service = SchedulingService(
+        cache=_cache(args),
+        workers=0,
+        fabric_opts={"sweep_timeout_s": args.timeout},
+    )
+    try:
+        server = ServiceServer(service, args.host, args.port)
+    except OSError as exc:
+        service.close()
+        sys.exit(f"sweep: cannot bind {args.host}:{args.port}: {exc}")
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    print(
+        f"coordinator listening on {server.url} — attach workers with:\n"
+        f"  repro-vliw worker --coordinator {server.url}",
+        file=sys.stderr,
+        flush=True,
+    )
     ctx = _ctx(args)
-    print(spec.run(ctx, args.quick))
-    print(f"\n[{ctx.stats.render()}]")
-    _write_report(args, ctx, args.grid)
+    ctx.executor = service.fabric.execute
+    try:
+        try:
+            output = spec.run(ctx, args.quick)
+        except ServiceError as exc:
+            sys.exit(f"sweep: {exc}")
+        print(output)
+        print(f"\n[{ctx.stats.render()}]")
+        _write_report(args, ctx, args.grid)
+        return output
+    finally:
+        server.shutdown()
+        server.server_close()
+        service.close()
+        thread.join(5.0)
+
+
+def cmd_worker(args: argparse.Namespace) -> None:
+    from .errors import ServiceError
+    from .fabric.worker import FabricWorker, WorkerDied
+
+    progress = None
+    if not args.quiet:
+        progress = lambda msg: print(f"[{msg}]", file=sys.stderr, flush=True)  # noqa: E731
+    try:
+        worker = FabricWorker(
+            args.coordinator,
+            worker_id=args.id,
+            max_shards=args.max_shards,
+            fail_after=args.fail_after,
+            idle_exit_s=args.idle_exit,
+            poll_s=args.poll,
+            timeout=args.timeout,
+            wait_healthy_s=args.wait_healthy,
+            progress=progress,
+        )
+    except ValueError as exc:
+        sys.exit(f"worker: {exc}")
+    try:
+        stats = worker.run()
+    except WorkerDied as exc:
+        print(worker.stats.render(), file=sys.stderr)
+        sys.exit(f"worker: {exc}")
+    except ServiceError as exc:
+        sys.exit(f"worker: {exc}")
+    except KeyboardInterrupt:
+        print(worker.stats.render(), file=sys.stderr)
+        sys.exit(130)
+    print(stats.render())
 
 
 def cmd_bench(args: argparse.Namespace) -> None:
@@ -587,8 +719,49 @@ def main(argv: list[str] | None = None) -> None:
     p.add_argument("grid", nargs="?", help=f"one of: {', '.join(sorted(GRIDS))}")
     p.add_argument("--quick", action="store_true")
     p.add_argument("--list", action="store_true", help="list declared grids")
+    p.add_argument("--distributed", action="store_true",
+                   help="execute cache misses on fabric workers (pull-based) "
+                        "instead of local processes; byte-identical output")
+    p.add_argument("--coordinator", default=None, metavar="URL",
+                   help="submit to a running repro-vliw serve instance "
+                        "(default: start an embedded coordinator)")
+    p.add_argument("--host", default="127.0.0.1",
+                   help="embedded coordinator bind host (default: 127.0.0.1)")
+    p.add_argument("--port", type=int, default=8537,
+                   help="embedded coordinator port (0 = ephemeral; default 8537)")
+    p.add_argument("--timeout", type=float, default=900.0,
+                   help="distributed sweep deadline in seconds (default: 900)")
+    p.add_argument("--out", default=None, metavar="FILE",
+                   help="also write the rendered tables to FILE "
+                        "(byte-identity checks diff these)")
     _sweep_flags(p)
     p.set_defaults(func=cmd_sweep)
+    p = sub.add_parser(
+        "worker",
+        help="pull-based sweep worker: claim shards from a coordinator, "
+             "execute, post results",
+    )
+    p.add_argument("--coordinator", default="http://127.0.0.1:8537",
+                   metavar="URL",
+                   help="coordinator URL (default: http://127.0.0.1:8537)")
+    p.add_argument("--id", default=None,
+                   help="worker identity in leases/stats (default: generated)")
+    p.add_argument("--max-shards", type=int, default=None, metavar="N",
+                   help="exit after completing N shards")
+    p.add_argument("--fail-after", type=int, default=None, metavar="N",
+                   help="die after executing N points (fault injection)")
+    p.add_argument("--idle-exit", type=float, default=None, metavar="S",
+                   help="exit after S seconds with no work (default: poll "
+                        "until the coordinator goes away)")
+    p.add_argument("--poll", type=float, default=0.05, metavar="S",
+                   help="idle poll interval in seconds (default: 0.05)")
+    p.add_argument("--timeout", type=float, default=120.0,
+                   help="per-request HTTP timeout in seconds")
+    p.add_argument("--wait-healthy", type=float, default=10.0,
+                   help="seconds to wait for the coordinator's /healthz")
+    p.add_argument("--quiet", action="store_true",
+                   help="suppress per-shard progress lines")
+    p.set_defaults(func=cmd_worker)
     p = sub.add_parser(
         "bench", help="micro-benchmark the hot paths; record/compare BENCH_<n>.json"
     )

@@ -27,6 +27,7 @@ import json
 import math
 from concurrent.futures import Executor
 from dataclasses import dataclass, field
+from typing import Callable
 
 from ..arch.cluster import MachineConfig
 from ..arch.configs import clustered_config, unified_config
@@ -123,6 +124,13 @@ class ExperimentContext:
         :func:`repro.runner.engine.execute_points`); the scheduling
         service wires its shared worker pool in here so grid jobs reuse
         warm workers instead of paying pool start-up per request.
+    executor:
+        Optional replacement execution core passed to ``run_sweep`` as
+        its ``execute`` hook (same signature as
+        :func:`repro.runner.engine.execute_points`).  The distributed
+        fabric injects its coordinator's ``execute`` here, so a
+        ``sweep --distributed`` grid job runs on pull-based workers
+        while memoisation, caching and reducers stay unchanged.
     memo:
         In-process map from scenario identity to the materialised
         :class:`ScheduledLoopResult` (stable object identity per point).
@@ -144,6 +152,7 @@ class ExperimentContext:
     jobs: int = 1
     fresh: bool = False
     pool: Executor | None = None
+    executor: Callable[..., dict[str, PointResult]] | None = None
     memo: dict[str, ScheduledLoopResult] = field(default_factory=dict)
     sim_memo: dict[str, CrossCheck] = field(default_factory=dict)
     fallbacks: list[ScenarioPoint] = field(default_factory=list)
@@ -262,6 +271,7 @@ class ExperimentContext:
             pool=self.pool,
             prior_lookup=self._known_schedule,
             recorder=self.recorder,
+            execute=self.executor,
         )
         for key, result in results.items():
             point, _loop = by_key[key]

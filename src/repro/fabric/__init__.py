@@ -1,0 +1,53 @@
+"""Distributed sweep fabric: pull-based workers over one shared cache.
+
+The fabric splits a sweep's cache misses into deterministic shards and
+leases them to workers over the service's JSON-HTTP front end:
+
+* :mod:`repro.fabric.protocol` — the wire schemas, the protocol
+  version, and the 400/409/410 error taxonomy;
+* :mod:`repro.fabric.coordinator` — lease book-keeping, expiry and
+  straggler re-issue, first-write-wins result collection into the
+  shared :class:`~repro.runner.cache.ResultCache`;
+* :mod:`repro.fabric.worker` — the pull loop behind
+  ``repro-vliw worker``.
+
+Workers and coordinator must run the same cache code version, so both
+sides compute identical content-addressed keys — which is why a
+distributed sweep is byte-identical to a local ``--jobs`` sweep by
+construction.
+
+``FabricWorker`` is exported lazily: the worker builds on
+:mod:`repro.service.client`, while :mod:`repro.service.core` imports
+the coordinator from here, and an eager import would close that loop.
+"""
+
+from .coordinator import FabricCoordinator
+from .protocol import (
+    PROTOCOL_VERSION,
+    FabricBadRequest,
+    FabricConflict,
+    FabricError,
+    FabricGone,
+)
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "FabricBadRequest",
+    "FabricConflict",
+    "FabricCoordinator",
+    "FabricError",
+    "FabricGone",
+    "FabricWorker",
+    "WorkerDied",
+    "WorkerStats",
+]
+
+_WORKER_EXPORTS = ("FabricWorker", "WorkerDied", "WorkerStats", "client_from_url")
+
+
+def __getattr__(name: str):
+    if name in _WORKER_EXPORTS:
+        from . import worker
+
+        return getattr(worker, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,168 @@
+"""Wire protocol of the distributed sweep fabric.
+
+Two POST endpoints, layered on the existing service HTTP front end:
+
+``POST /leases``
+    Claim work or renew a lease.  A **claim** body is
+    ``{"protocol": 1, "worker": id, "code_version": v}`` and the reply
+    is either a shard lease (``lease``, ``sweep``, ``shard`` items,
+    ``deadline_unix``, ``heartbeat_s``, ``trace``) or an idle document
+    (``{"lease": null, "idle": true, "retry_s": ...}``).  A **renew**
+    body is ``{"protocol": 1, "worker": id, "renew": lease_id}`` and
+    the reply carries the extended ``deadline_unix``.
+
+``POST /results``
+    Stream a completed shard back:
+    ``{"protocol": 1, "worker": id, "lease": lease_id,
+    "code_version": v, "results": [{"point", "result", "meta"}, ...]}``.
+    The reply is ``{"accepted": n, "duplicates": n, "sweep_done": b}``.
+
+Error mapping (the HTTP layer sends ``exc.http_status``):
+
+==========================  ====  =======================================
+condition                   code  exception
+==========================  ====  =======================================
+malformed / corrupt body     400  :class:`FabricBadRequest`
+duplicate post, version      409  :class:`FabricConflict`
+mismatch
+expired / unknown lease      410  :class:`FabricGone`
+==========================  ====  =======================================
+
+Validation here is purely structural (types, required keys, unknown
+keys); semantic checks — does the lease exist, do the points belong to
+the shard, does the payload deserialise — live in the coordinator,
+which owns the state those checks need.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..errors import ServiceError
+
+#: Version of the lease/results wire protocol.  Bump on any breaking
+#: change to the request or response schemas; workers and coordinators
+#: reject mismatched versions outright.
+PROTOCOL_VERSION = 1
+
+#: Upper bound on worker / lease identifier lengths (sanity, not
+#: security: ids end up in logs, metrics labels and stats documents).
+MAX_ID_LEN = 120
+
+
+class FabricError(ServiceError):
+    """Base class of fabric protocol violations; carries an HTTP status."""
+
+    #: Status the HTTP layer responds with (subclasses override).
+    http_status = 500
+
+
+class FabricBadRequest(FabricError):
+    """The request body is malformed or a payload fails to deserialise."""
+
+    http_status = 400
+
+
+class FabricConflict(FabricError):
+    """Duplicate result post, or worker/coordinator code versions differ."""
+
+    http_status = 409
+
+
+class FabricGone(FabricError):
+    """The referenced lease is unknown, expired, or already settled."""
+
+    http_status = 410
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise FabricBadRequest(message)
+
+
+def _check_protocol(data: dict[str, Any]) -> None:
+    version = data.get("protocol")
+    _require(
+        version == PROTOCOL_VERSION,
+        f"unsupported protocol version {version!r} "
+        f"(this coordinator speaks {PROTOCOL_VERSION})",
+    )
+
+
+def _check_id(data: dict[str, Any], key: str) -> str:
+    value = data.get(key)
+    _require(
+        isinstance(value, str) and 0 < len(value) <= MAX_ID_LEN,
+        f"{key!r} must be a non-empty string of at most {MAX_ID_LEN} chars",
+    )
+    return value
+
+
+def validate_claim(data: dict[str, Any]) -> dict[str, Any]:
+    """Structurally validate a ``POST /leases`` body (claim or renew).
+
+    Returns the validated document; a renew is recognised by the
+    presence of ``"renew"`` (and then must not carry ``code_version`` —
+    the version was checked when the lease was issued).
+    """
+    _require(isinstance(data, dict), "lease request must be a JSON object")
+    _check_protocol(data)
+    _check_id(data, "worker")
+    if "renew" in data:
+        unknown = sorted(set(data) - {"protocol", "worker", "renew"})
+        _require(not unknown, f"unknown lease-renewal field(s): {unknown}")
+        _check_id(data, "renew")
+        return data
+    unknown = sorted(set(data) - {"protocol", "worker", "code_version"})
+    _require(not unknown, f"unknown lease-claim field(s): {unknown}")
+    code_version = data.get("code_version")
+    _require(
+        isinstance(code_version, str) and bool(code_version),
+        "'code_version' (the worker's cache code version) is required",
+    )
+    return data
+
+
+def validate_results(data: dict[str, Any]) -> dict[str, Any]:
+    """Structurally validate a ``POST /results`` body.
+
+    Each result item must be an object with ``point`` and ``result``
+    objects (and an optional ``meta`` object); whether they deserialise
+    into real scenario points and results is the coordinator's call.
+    """
+    _require(isinstance(data, dict), "results request must be a JSON object")
+    _check_protocol(data)
+    _check_id(data, "worker")
+    _check_id(data, "lease")
+    code_version = data.get("code_version")
+    _require(
+        isinstance(code_version, str) and bool(code_version),
+        "'code_version' (the worker's cache code version) is required",
+    )
+    unknown = sorted(
+        set(data) - {"protocol", "worker", "lease", "code_version", "results"}
+    )
+    _require(not unknown, f"unknown results field(s): {unknown}")
+    results = data.get("results")
+    _require(
+        isinstance(results, list) and bool(results),
+        "'results' must be a non-empty list",
+    )
+    for i, item in enumerate(results):
+        _require(
+            isinstance(item, dict), f"results[{i}] must be a JSON object"
+        )
+        _require(
+            isinstance(item.get("point"), dict),
+            f"results[{i}]['point'] (a scenario point object) is required",
+        )
+        _require(
+            isinstance(item.get("result"), dict),
+            f"results[{i}]['result'] (a point result object) is required",
+        )
+        meta = item.get("meta")
+        _require(
+            meta is None or isinstance(meta, dict),
+            f"results[{i}]['meta'] must be an object when given",
+        )
+    return data

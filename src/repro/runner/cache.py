@@ -13,10 +13,11 @@ one small JSON file whose name is
   the key, so bumping it (new release, changed result schema) orphans
   every stale entry instead of silently serving it.
 
-Writes are atomic (``os.replace`` from a per-process temp file), so
-concurrent workers — or a sweep killed mid-write — can never publish a
-torn entry; a corrupt or unreadable file is treated as a miss and
-overwritten.  The cache root defaults to ``~/.cache/repro-vliw`` and is
+Writes are atomic (``os.replace`` from a per-*writer* unique temp file
+via :func:`tempfile.mkstemp`), so concurrent writers — worker processes,
+service handler threads in one process, or a sweep killed mid-write —
+can never publish a torn entry or trample each other's temp files; a
+corrupt or unreadable file is treated as a miss and overwritten.  The cache root defaults to ``~/.cache/repro-vliw`` and is
 overridable via ``$REPRO_VLIW_CACHE`` or per instance.
 """
 
@@ -25,6 +26,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import tempfile
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -195,12 +197,30 @@ class ResultCache:
         return result
 
     def put(self, point: ScenarioPoint, result: PointResult) -> Path:
-        """Persist *result* for *point* atomically; returns the path."""
+        """Persist *result* for *point* atomically; returns the path.
+
+        The temp name must be unique per *writer*, not per process: the
+        service executes batches on handler threads, so a pid-suffixed
+        temp file would let two threads interleave writes and publish a
+        torn entry.  ``mkstemp`` gives every writer its own file; the
+        ``os.replace`` into place is atomic on POSIX and Windows.
+        """
         path = self.path_for(point)
         path.parent.mkdir(parents=True, exist_ok=True)
-        tmp = path.with_suffix(f".tmp{os.getpid()}")
-        tmp.write_text(json.dumps(result.to_dict(), sort_keys=True))
-        os.replace(tmp, path)
+        payload = json.dumps(result.to_dict(), sort_keys=True)
+        fd, tmp_name = tempfile.mkstemp(
+            dir=path.parent, prefix=path.stem[:8], suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w") as fh:
+                fh.write(payload)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:  # pragma: no cover - best-effort cleanup
+                pass
+            raise
         self.writes += 1
         return path
 

@@ -466,6 +466,7 @@ def run_sweep(
     ]
     | None = None,
     recorder: RunRecorder | None = None,
+    execute: Callable[..., dict[str, PointResult]] | None = None,
 ) -> tuple[dict[str, PointResult], SweepStats]:
     """Execute a grid of scenario points, in parallel, through the cache.
 
@@ -497,6 +498,13 @@ def run_sweep(
         point (source ``disk`` or ``executed``, with executed wall
         times).  Recording is out-of-band: results, stats and cache
         contents are identical with or without it.
+    execute:
+        Optional replacement for :func:`execute_points` with the same
+        signature — this is how the distributed fabric plugs in (its
+        coordinator's ``execute`` farms the misses out to pull-based
+        workers instead of local processes).  Cache probing, dedupe,
+        stats and recording stay here, so swapping the executor cannot
+        change what a sweep returns — only where the work ran.
 
     Returns
     -------
@@ -548,7 +556,8 @@ def run_sweep(
         {} if recorder is not None else None
     )
     grid_for_key = dict(misses)
-    executed = execute_points(
+    runner = execute if execute is not None else execute_points
+    executed = runner(
         misses,
         jobs=jobs,
         pool=pool,

@@ -150,6 +150,39 @@ def _run_ablation(ctx: "ExperimentContext", quick: bool) -> str:
     )
 
 
+def _run_smoke(ctx: "ExperimentContext", quick: bool) -> str:
+    from ..arch.configs import clustered_config
+    from ..core.selective import UnrollPolicy
+    from ..experiments.common import config_label
+    from ..perf.report import format_table
+    from ..runner.scenario import scenario_for
+    from ..workloads.kernels import kernel_loop
+
+    kernels = ("daxpy", "dot") if quick else ("daxpy", "dot", "fir4", "vadd")
+    configs = [clustered_config(2, 1, 1), clustered_config(4, 1, 1)]
+    items = []
+    for name in kernels:
+        loop = kernel_loop(name, trip_count=100)
+        for config in configs:
+            point = scenario_for(loop, config, "bsa", UnrollPolicy.NONE)
+            items.append((point, loop))
+    ctx.run_grid(items)
+    rows = []
+    for point, _loop in items:
+        result = ctx.memo[point.canonical()]
+        rows.append(
+            {
+                "kernel": point.loop,
+                "config": config_label(point.config()),
+                "ii": result.ii,
+                "stages": result.stage_count,
+            }
+        )
+    return format_table(
+        rows, title="Smoke grid: II / stage count per kernel and machine"
+    )
+
+
 #: All sweepable grids, by name (the ``repro-vliw sweep`` registry).
 GRIDS: dict[str, GridSpec] = {
     spec.name: spec
@@ -172,6 +205,11 @@ GRIDS: dict[str, GridSpec] = {
             "ablation",
             "single-pass vs two-phase and Figure 6 rule ablations",
             _run_ablation,
+        ),
+        GridSpec(
+            "smoke",
+            "tiny fixed grid for fabric/CI plumbing checks (milliseconds)",
+            _run_smoke,
         ),
     )
 }

@@ -16,6 +16,7 @@ cache, never a different compiler.
 
 from __future__ import annotations
 
+import http.client
 import json
 import math
 import threading
@@ -93,6 +94,15 @@ class ServiceClient:
             raise ClientError(exc.code, f"HTTP {exc.code}: {message}") from None
         except urllib.error.URLError as exc:
             raise ClientError(0, f"{self.base_url}: {exc.reason}") from None
+        except (OSError, http.client.HTTPException) as exc:
+            # urllib only wraps errors raised while *sending*; a server
+            # closing the connection mid-response (e.g. coordinator
+            # shutdown under a polling fabric worker) surfaces raw as
+            # ConnectionResetError / RemoteDisconnected.  Same contract:
+            # status 0 means the transport failed, not the request.
+            raise ClientError(
+                0, f"{self.base_url}: {type(exc).__name__}: {exc}"
+            ) from None
 
     # ------------------------------------------------------------------
     def healthz(self) -> dict[str, Any]:
@@ -100,6 +110,14 @@ class ServiceClient:
 
     def stats(self) -> dict[str, Any]:
         return self._call("GET", "/stats")
+
+    def lease(self, payload: dict[str, Any]) -> dict[str, Any]:
+        """``POST /leases`` — fabric worker claim/renew (raw protocol body)."""
+        return self._call("POST", "/leases", payload)
+
+    def results(self, payload: dict[str, Any]) -> dict[str, Any]:
+        """``POST /results`` — fabric worker result post (raw protocol body)."""
+        return self._call("POST", "/results", payload)
 
     def job(self, job_id: str) -> dict[str, Any]:
         return self._call("GET", f"/jobs/{job_id}")
@@ -141,10 +159,15 @@ class ServiceClient:
         grid: str | None = None,
         quick: bool = False,
         jobs: int | None = None,
+        distributed: bool = False,
         wait: bool = True,
         timeout_s: float | None = None,
     ) -> dict[str, Any]:
-        """``POST /sweep`` — a batch of requests or a named grid."""
+        """``POST /sweep`` — a batch of requests or a named grid.
+
+        *distributed* (grids only) runs the grid's misses on the
+        server's fabric workers instead of its local pool.
+        """
         payload: dict[str, Any] = {
             "wait": wait,
             "timeout_s": (
@@ -156,6 +179,8 @@ class ServiceClient:
             payload["quick"] = quick
             if jobs is not None:
                 payload["jobs"] = jobs
+            if distributed:
+                payload["distributed"] = True
         else:
             payload["requests"] = [
                 r.to_dict() if isinstance(r, ScheduleRequest) else dict(r)

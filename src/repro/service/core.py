@@ -42,6 +42,7 @@ from ..arch.configs import clustered_config, unified_config
 from ..codegen.vliw import render_schedule
 from ..core.selective import SelectiveRule, UnrollPolicy
 from ..errors import ServiceError
+from ..fabric.coordinator import FabricCoordinator
 from ..obs.metrics import MetricsRegistry
 from ..runner.cache import ResultCache
 from ..runner.engine import SCHEDULERS, execute_point, execute_points, make_worker_pool
@@ -309,6 +310,9 @@ class Job:
     grid: str | None = None
     quick: bool = False
     jobs: int | None = None
+    #: Grid jobs only: execute misses on the fabric's pull-based
+    #: workers instead of the local pool (``sweep --distributed``).
+    distributed: bool = False
     trace_id: str | None = None
     status: str = "queued"
     created_unix: float = field(default_factory=time.time)
@@ -341,6 +345,8 @@ class Job:
             "trace_id": self.trace_id,
             "error": self.error,
         }
+        if self.kind == "grid":
+            doc["distributed"] = self.distributed
         if include_results and self.status == "done":
             if self.kind == "grid":
                 doc["output"] = self.output
@@ -381,6 +387,13 @@ class SchedulingService:
         so a long-lived service under sustained traffic does not grow
         without bound.  Evicted job ids answer 404 on ``GET /jobs/<id>``;
         in-flight jobs are never evicted.
+    fabric_opts:
+        Keyword arguments forwarded to the embedded
+        :class:`~repro.fabric.coordinator.FabricCoordinator` (lease TTL,
+        shard size, straggler policy...).  The coordinator shares this
+        service's cache and metrics registry, so distributed grid jobs
+        cross-pollinate the same cache local batches use and the
+        ``fabric_*`` families appear on ``GET /metrics``.
     """
 
     def __init__(
@@ -390,6 +403,7 @@ class SchedulingService:
         workers: int = 2,
         memo_limit: int = 4096,
         job_limit: int = 1024,
+        fabric_opts: dict[str, Any] | None = None,
     ):
         self.cache = cache
         self.workers = max(0, workers)
@@ -424,6 +438,13 @@ class SchedulingService:
         #: renders it as ``GET /metrics``.
         self.metrics = MetricsRegistry()
         self._register_metrics()
+
+        #: The distributed-sweep coordinator (``POST /leases`` and
+        #: ``POST /results`` land here via :meth:`fabric_claim` /
+        #: :meth:`fabric_results`).
+        self.fabric = FabricCoordinator(
+            cache=cache, metrics=self.metrics, **(fabric_opts or {})
+        )
 
         self._dispatcher = threading.Thread(
             target=self._dispatch_loop, name="repro-service-dispatcher",
@@ -547,9 +568,16 @@ class SchedulingService:
         *,
         quick: bool = False,
         jobs: int | None = None,
+        distributed: bool = False,
         trace_id: str | None = None,
     ) -> Job:
-        """Queue a named experiment grid (``repro-vliw sweep`` as a job)."""
+        """Queue a named experiment grid (``repro-vliw sweep`` as a job).
+
+        ``distributed`` executes the grid's cache misses on the fabric's
+        pull-based workers instead of the local pool; everything else
+        (cache probing, reducers, rendering) is identical, so the output
+        is byte-identical to a local run.
+        """
         if grid not in GRIDS:
             raise RequestError(
                 f"unknown grid {grid!r}; known: {sorted(GRIDS)}"
@@ -561,6 +589,7 @@ class SchedulingService:
                 grid=grid,
                 quick=quick,
                 jobs=jobs,
+                distributed=distributed,
                 trace_id=trace_id,
             )
         )
@@ -569,6 +598,21 @@ class SchedulingService:
         """Look up a job by id (``None`` when unknown)."""
         with self._lock:
             return self._jobs.get(job_id)
+
+    # ------------------------------------------------------------------
+    # Fabric API (``POST /leases`` and ``POST /results``)
+    # ------------------------------------------------------------------
+    def fabric_claim(self, data: dict[str, Any]) -> dict[str, Any]:
+        """Delegate a worker's lease claim/renewal to the coordinator."""
+        if self._stopping:
+            raise ServiceClosed("service is shutting down")
+        return self.fabric.claim(data)
+
+    def fabric_results(self, data: dict[str, Any]) -> dict[str, Any]:
+        """Delegate a worker's result post to the coordinator."""
+        if self._stopping:
+            raise ServiceClosed("service is shutting down")
+        return self.fabric.submit_results(data)
 
     # ------------------------------------------------------------------
     def _next_id(self) -> str:
@@ -653,6 +697,7 @@ class SchedulingService:
             }
         else:
             doc["cache"] = None
+        doc["fabric"] = self.fabric.stats()
         return doc
 
     def healthz(self) -> dict[str, Any]:
@@ -687,6 +732,10 @@ class SchedulingService:
         if not first_closer:
             self._closed.wait(timeout)
             return
+        # Abort any distributed sweep still waiting on workers — the
+        # dispatcher is blocked inside fabric.execute and must unblock
+        # (with a FabricError, failing that job) before it can drain.
+        self.fabric.close()
         self._dispatcher.join(timeout)
         self._closed.set()
         pool, self._pool = self._pool, None
@@ -860,6 +909,20 @@ class SchedulingService:
 
         job.status = "running"
         job.started_unix = time.time()
+        if job.distributed:
+            # Misses go to the fabric's pull-based workers; jobs/pool
+            # are irrelevant (parallelism = however many workers pull).
+            ctx = ExperimentContext(
+                cache=self.cache, jobs=1, executor=self.fabric.execute
+            )
+            spec = GRIDS[job.grid]
+            job.output = spec.run(ctx, job.quick)
+            with self._lock:
+                self._batches += 1
+                self._points_executed += ctx.stats.executed
+                self._points_disk += ctx.stats.cached
+            job._finish("done")
+            return
         # A workers=0 service executes in-process by contract: a client
         # asking for jobs>1 must not force an ephemeral pool into being.
         if self.workers <= 0:

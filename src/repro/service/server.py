@@ -11,6 +11,8 @@ Routes::
 
     POST /schedule   one scheduling request        -> result (or job id)
     POST /sweep      {"requests": [...]} batch, or {"grid": name, ...}
+    POST /leases     fabric worker claim/renew (see repro.fabric.protocol)
+    POST /results    fabric worker result post
     GET  /jobs/<id>  job status + results when done
     GET  /healthz    liveness probe
     GET  /stats      queue / dedupe / cache counters
@@ -21,7 +23,8 @@ completes and inline its results) and ``"timeout_s"`` (default 300; on
 expiry the response is ``202`` with the job id, and the client polls
 ``/jobs/<id>``).  Errors are JSON too: ``{"error": ...}`` with 400 for
 malformed requests, 404 for unknown routes/jobs, 503 while shutting
-down.
+down; the fabric routes add 409 (version mismatch, duplicate post) and
+410 (expired or unknown lease) per the protocol's error taxonomy.
 
 Every request is measured into the service's metrics registry
 (``repro_http_requests_total{route,code}`` and the
@@ -40,6 +43,7 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any
 
 from .. import __version__
+from ..fabric.protocol import FabricError
 from ..obs.prom import CONTENT_TYPE as PROM_CONTENT_TYPE
 from ..obs.prom import render as render_metrics
 from ..obs.trace import new_trace_id
@@ -115,7 +119,15 @@ class _Handler(BaseHTTPRequestHandler):
         path = self.path.split("?", 1)[0].rstrip("/") or "/"
         if path.startswith("/jobs/"):
             return "/jobs"
-        if path in ("/schedule", "/sweep", "/healthz", "/stats", "/metrics"):
+        if path in (
+            "/schedule",
+            "/sweep",
+            "/leases",
+            "/results",
+            "/healthz",
+            "/stats",
+            "/metrics",
+        ):
             return path
         return "other"
 
@@ -205,7 +217,7 @@ class _Handler(BaseHTTPRequestHandler):
 
     def _handle_post(self) -> None:
         path = self.path.split("?", 1)[0].rstrip("/")
-        if path not in ("/schedule", "/sweep"):
+        if path not in ("/schedule", "/sweep", "/leases", "/results"):
             # Unknown routes are 404 regardless of body validity (and
             # the body must still be drained for HTTP/1.1 keep-alive).
             self.rfile.read(int(self.headers.get("Content-Length") or 0))
@@ -216,8 +228,14 @@ class _Handler(BaseHTTPRequestHandler):
             data = self._read_body()
             if path == "/schedule":
                 self._post_schedule(data)
-            else:
+            elif path == "/sweep":
                 self._post_sweep(data)
+            elif path == "/leases":
+                self._send_json(200, self.service.fabric_claim(data))
+            else:
+                self._send_json(200, self.service.fabric_results(data))
+        except FabricError as exc:
+            self._send_json(exc.http_status, {"error": str(exc)})
         except RequestError as exc:
             self._send_json(400, {"error": str(exc)})
         except ServiceClosed as exc:
@@ -273,6 +291,9 @@ class _Handler(BaseHTTPRequestHandler):
 
     def _post_sweep(self, data: dict[str, Any]) -> None:
         wait, timeout = self._wait_params(data)
+        distributed = data.pop("distributed", False)
+        if not isinstance(distributed, bool):
+            raise RequestError("'distributed' must be true or false")
         grid = data.pop("grid", None)
         if grid is not None:
             if data.get("requests") is not None:
@@ -289,10 +310,16 @@ class _Handler(BaseHTTPRequestHandler):
             if unknown:
                 raise RequestError(f"unknown request field(s): {unknown}")
             job = self.service.submit_grid(
-                grid, quick=quick, jobs=jobs, trace_id=self._trace_id
+                grid,
+                quick=quick,
+                jobs=jobs,
+                distributed=distributed,
+                trace_id=self._trace_id,
             )
             self._respond_job(job, wait, timeout)
             return
+        if distributed:
+            raise RequestError("'distributed' requires 'grid'")
         requests = data.pop("requests", None)
         if not isinstance(requests, list) or not requests:
             raise RequestError(

@@ -14,6 +14,9 @@ Covers the acceptance criteria of the runner work:
 from __future__ import annotations
 
 import json
+import multiprocessing
+import threading
+from concurrent.futures import ProcessPoolExecutor
 
 import pytest
 
@@ -55,6 +58,30 @@ def small_suite():
 
 def small_ctx(cache=None, jobs=1):
     return ExperimentContext(suite=small_suite(), cache=cache, jobs=jobs)
+
+
+def _hammer_cache(root, code_version, payload, rounds):
+    """Re-store and re-read the same cache entries in a tight loop.
+
+    Module level so the spawn context can pickle it into worker
+    processes.  Returns the number of failed reads: with atomic writes
+    there must be none, because ``get`` treats a torn or partially
+    visible entry as a miss.
+    """
+    from repro.runner.scenario import ScenarioPoint
+
+    cache = ResultCache(root, code_version=code_version)
+    pairs = [
+        (ScenarioPoint(**point_doc), PointResult.from_dict(result_doc))
+        for point_doc, result_doc in payload
+    ]
+    failures = 0
+    for _ in range(rounds):
+        for point, result in pairs:
+            cache.put(point, result)
+            if cache.get(point) is None:
+                failures += 1
+    return failures
 
 
 class TestScenarioPoint:
@@ -169,6 +196,53 @@ class TestResultCache:
         cache.put(point, execute_point(point, loop))
         cache.path_for(point).write_text("{not json")
         assert cache.get(point) is None
+
+    def test_concurrent_writers_never_tear_entries(self, tmp_path):
+        """Handler threads and worker processes hammering the same keys.
+
+        The regression this guards: a pid-suffixed temp file let two
+        threads of one process interleave writes and publish a torn
+        entry.  With per-writer ``mkstemp`` temp files every read must
+        parse, no ``.tmp`` files may leak, and each point ends up as
+        exactly one byte-identical entry.
+        """
+        root = tmp_path / "stress"
+        loop = kernel_loop("daxpy")
+        points = [
+            scenario_for(loop, config(), "bsa", policy)
+            for config in (two_cluster_config, four_cluster_config)
+            for policy in (UnrollPolicy.NONE, UnrollPolicy.ALL)
+        ]
+        results = {point: execute_point(point, loop) for point in points}
+        payload = [
+            (json.loads(point.canonical()), result.to_dict())
+            for point, result in results.items()
+        ]
+        args = (str(root), "test-v1", payload, 30)
+
+        thread_failures = []
+        threads = [
+            threading.Thread(
+                target=lambda: thread_failures.append(_hammer_cache(*args))
+            )
+            for _ in range(4)
+        ]
+        spawn = multiprocessing.get_context("spawn")
+        with ProcessPoolExecutor(max_workers=3, mp_context=spawn) as pool:
+            futures = [pool.submit(_hammer_cache, *args) for _ in range(3)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            process_failures = [future.result() for future in futures]
+
+        assert sum(thread_failures) + sum(process_failures) == 0
+        assert list(root.rglob("*.tmp")) == []
+        check = ResultCache(root, code_version="test-v1")
+        assert check.stats().entries == len(points)
+        for point, result in results.items():
+            data = json.loads(check.path_for(point).read_text())
+            assert data == result.to_dict()
 
     def test_sim_point_cross_pollinates_schedule(self, cache):
         """Caching a simulated point also publishes its schedule twin."""
