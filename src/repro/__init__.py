@@ -52,13 +52,16 @@ from .core import (
     sms_order,
     verify_schedule,
 )
+from .codegen import RenamedKernel, rename_kernel
 from .errors import (
     ConfigError,
     GraphError,
+    ParseError,
     ReproError,
     SchedulingError,
     SimulationError,
     VerificationError,
+    WorkloadError,
 )
 from .ir import (
     DEFAULT_CATALOG,
@@ -73,6 +76,8 @@ from .ir import (
     Operation,
     Program,
     count_cross_copy_deps,
+    parse_file,
+    parse_program,
     unroll_graph,
 )
 from .runner import (
@@ -81,6 +86,12 @@ from .runner import (
     ScenarioPoint,
     run_sweep,
     scenario_for,
+)
+from .workloads import (
+    register_workload,
+    resolve_workload,
+    workload_table,
+    workloads,
 )
 from .sim import (
     PerfectMemory,
@@ -91,7 +102,7 @@ from .sim import (
     simulate_schedule,
 )
 
-__version__ = "1.7.0"
+__version__ = "1.8.0"
 
 __all__ = [
     "BsaScheduler",
@@ -111,10 +122,12 @@ __all__ = [
     "OpCatalog",
     "Opcode",
     "Operation",
+    "ParseError",
     "PerfectMemory",
     "PointResult",
     "Program",
     "RandomMissMemory",
+    "RenamedKernel",
     "ReproError",
     "ResultCache",
     "ScenarioPoint",
@@ -127,6 +140,7 @@ __all__ = [
     "UnifiedScheduler",
     "UnrollPolicy",
     "VerificationError",
+    "WorkloadError",
     "clustered_config",
     "count_cross_copy_deps",
     "crosscheck_schedule",
@@ -135,8 +149,13 @@ __all__ = [
     "mii",
     "mii_report",
     "paper_configs",
+    "parse_file",
+    "parse_program",
     "rec_mii",
+    "register_workload",
+    "rename_kernel",
     "res_mii",
+    "resolve_workload",
     "run_sweep",
     "scenario_for",
     "schedule_with_policy",
@@ -147,4 +166,6 @@ __all__ = [
     "unified_config",
     "unroll_graph",
     "verify_schedule",
+    "workload_table",
+    "workloads",
 ]

@@ -15,6 +15,9 @@ Commands map one-to-one onto the paper's artefacts::
     repro-vliw schedule --list     # the kernel and scheduler catalogues
     repro-vliw simulate KERNEL [--niter N] [--miss-rate R]
                                    # execute the emitted code cycle by cycle
+    repro-vliw schedule FILE.loop  # schedule a textual loop-IR program
+    repro-vliw simulate FILE.loop  # ... and run its renamed kernel
+    repro-vliw workloads [--tag T] # the full workload registry
     repro-vliw crossval [--quick]  # Figure 8 grid re-run under simulation
     repro-vliw sweep GRID          # run any declared grid via the runner
     repro-vliw sweep GRID --distributed
@@ -51,7 +54,7 @@ import sys
 from .arch.configs import clustered_config, unified_config
 from .codegen.vliw import render_schedule
 from .core.verify import verify_schedule
-from .errors import ReproError
+from .errors import ParseError, ReproError, WorkloadError
 from .experiments import (
     ExperimentContext,
     average_ipc,
@@ -77,11 +80,14 @@ from .experiments import (
     run_table1,
     run_table2,
 )
+from .codegen.rename import rename_kernel
+from .ir.frontend import LOOP_SUFFIX, parse_file
 from .ir.unroll import unroll_graph
 from .perf.report import format_table
 from .runner import GRIDS, SCHEDULERS, ResultCache, scheduler_table
 from .sim import PerfectMemory, RandomMissMemory, crosscheck_schedule
 from .workloads.kernels import kernel_table, resolve_kernel
+from .workloads.registry import workload_table
 
 
 def _cache(args: argparse.Namespace) -> ResultCache | None:
@@ -222,8 +228,28 @@ def cmd_gap(args: argparse.Namespace) -> None:
 def _resolve_kernel_or_exit(name: str):
     try:
         return resolve_kernel(name)[1]
+    except WorkloadError as exc:
+        sys.exit(str(exc))  # includes the did-you-mean suggestion
     except KeyError as exc:
         sys.exit(str(exc.args[0]))
+
+
+def _loop_file_or_none(name: str, command: str):
+    """Parse *name* as a ``.loop`` program when it denotes a file.
+
+    Anything ending in ``.loop`` (or any path to an existing file) goes
+    through the textual frontend; plain names fall back to the workload
+    registry.  Returns the parsed :class:`~repro.ir.loop.Loop` or
+    ``None``.
+    """
+    import os
+
+    if not (name.endswith(LOOP_SUFFIX) or os.path.sep in name or os.path.isfile(name)):
+        return None
+    try:
+        return parse_file(name)
+    except ParseError as exc:
+        sys.exit(f"{command}: {exc}")
 
 
 def _schedule_kernel(args: argparse.Namespace, graph):
@@ -258,10 +284,14 @@ def cmd_schedule(args: argparse.Namespace) -> None:
         )
         return
     if not args.kernel:
-        sys.exit("schedule: a KERNEL name is required (or use --list)")
-    factory = _resolve_kernel_or_exit(args.kernel)
+        sys.exit("schedule: a KERNEL name or FILE.loop is required (or use --list)")
+    loop = _loop_file_or_none(args.kernel, "schedule")
+    if loop is not None:
+        graph = loop.graph
+    else:
+        graph = _resolve_kernel_or_exit(args.kernel)()
     try:
-        sched = _schedule_kernel(args, factory())
+        sched = _schedule_kernel(args, graph)
     except ReproError as exc:
         sys.exit(f"schedule: {exc}")
     print(sched.describe())
@@ -270,8 +300,15 @@ def cmd_schedule(args: argparse.Namespace) -> None:
 
 
 def cmd_simulate(args: argparse.Namespace) -> None:
-    factory = _resolve_kernel_or_exit(args.kernel)
-    graph = factory()
+    loop = _loop_file_or_none(args.kernel, "simulate")
+    if loop is not None:
+        graph = loop.graph
+        if args.niter == -1:
+            args.niter = loop.trip_count
+    else:
+        graph = _resolve_kernel_or_exit(args.kernel)()
+    if args.niter == -1:
+        args.niter = 100
     source_ops = len(graph)
     try:
         if args.unroll > 1:
@@ -294,6 +331,19 @@ def cmd_simulate(args: argparse.Namespace) -> None:
     print(check.report.render())
     print()
     print(check.render())
+    if loop is not None:
+        # Frontend programs get the full executable artefact: the
+        # MVE-unrolled, register-renamed kernel the simulator timed.
+        print()
+        print(rename_kernel(sched).render())
+
+
+def cmd_workloads(args: argparse.Namespace) -> None:
+    rows = workload_table(args.tag)
+    if not rows:
+        sys.exit(f"workloads: no workloads tagged {args.tag!r}")
+    title = "Workload registry" + (f" (tag={args.tag})" if args.tag else "")
+    print(format_table(rows, title=title))
 
 
 def cmd_crossval(args: argparse.Namespace) -> None:
@@ -871,8 +921,14 @@ def main(argv: list[str] | None = None) -> None:
     )
     p.add_argument("--cache-dir", default=None)
     p.set_defaults(func=cmd_cache)
+    p = sub.add_parser("workloads")
+    p.add_argument("--list", action="store_true",
+                   help="list every registered workload (the default)")
+    p.add_argument("--tag", default=None,
+                   help="filter by registry tag (kernel, livermore, specfp, ...)")
+    p.set_defaults(func=cmd_workloads)
     p = sub.add_parser("schedule")
-    p.add_argument("kernel", nargs="?")
+    p.add_argument("kernel", nargs="?", metavar="KERNEL|FILE.loop")
     p.add_argument("--list", action="store_true",
                    help="list kernels, aliases and schedulers")
     p.add_argument("--clusters", type=int, default=4)
@@ -882,8 +938,10 @@ def main(argv: list[str] | None = None) -> None:
                    help="registered scheduler (see --list; default: bsa)")
     p.set_defaults(func=cmd_schedule)
     p = sub.add_parser("simulate")
-    p.add_argument("kernel")
-    p.add_argument("--niter", type=int, default=100)
+    p.add_argument("kernel", metavar="KERNEL|FILE.loop")
+    p.add_argument("--niter", type=int, default=-1,
+                   help="iterations to simulate (default: the .loop trip "
+                        "directive, else 100)")
     p.add_argument("--miss-rate", type=float, default=0.0)
     p.add_argument("--miss-penalty", type=int, default=10)
     p.add_argument("--seed", type=int, default=0)

@@ -2,6 +2,7 @@
 
 from .codesize import ZERO_SIZE, CodeSize, schedule_code_size
 from .linear import BusRecord, IssueRecord, LinearCode, OperandRead, linearize
+from .rename import RenamedKernel, RenamedOp, rename_kernel
 from .vliw import (
     KernelCode,
     expand_software_pipeline,
@@ -16,10 +17,13 @@ __all__ = [
     "KernelCode",
     "LinearCode",
     "OperandRead",
+    "RenamedKernel",
+    "RenamedOp",
     "ZERO_SIZE",
     "expand_software_pipeline",
     "generate_kernel",
     "linearize",
+    "rename_kernel",
     "render_schedule",
     "schedule_code_size",
 ]

@@ -1,0 +1,204 @@
+"""Modulo variable expansion (MVE): register renaming for the kernel.
+
+A modulo-scheduled kernel overlaps ``SC`` iterations, so a value whose
+lifetime exceeds ``II`` cycles would be overwritten by the next
+iteration's definition before its last consumer reads it.  Rotating
+register files solve this in hardware; on a conventional register file
+the compiler solves it by *modulo variable expansion* (Lam, 1988): unroll
+the kernel ``KUF`` times and rotate each long-lived value through
+``n_v = ceil(lifetime_v / II)`` register names, where ``KUF`` is the
+least common multiple of all ``n_v``.
+
+:func:`rename_kernel` applies MVE to a verified
+:class:`~repro.core.schedule.ModuloSchedule`: it computes per-value
+lifetimes from the placed cycles (a consumer at distance ``d`` reads
+``d * II`` cycles later than its same-iteration slot), assigns register
+names ``r<node>.<k>``, and emits the unrolled, renamed kernel.  In copy
+``u`` of the unrolled kernel, node ``v`` defines ``r<v>.<u % n_v>`` and a
+reader at iteration distance ``d`` reads ``r<v>.<(u - d) % n_v>``.
+
+Every renaming is self-verified: for each flow edge the span from
+definition to read must fit inside ``n_v * II`` cycles (reads at exactly
+the overwrite cycle are safe — the register file reads before it
+writes), otherwise :class:`~repro.errors.VerificationError` is raised.
+This turns the simulator's timing record for any frontend-supplied
+program into a real executable kernel, not just a cycle count.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..core.schedule import ModuloSchedule
+from ..errors import VerificationError
+from .linear import LinearCode, linearize
+
+__all__ = ["RenamedOp", "RenamedKernel", "rename_kernel"]
+
+
+@dataclass(frozen=True)
+class RenamedOp:
+    """One operation instance in the unrolled, register-renamed kernel."""
+
+    node: int
+    copy: int
+    row: int
+    stage: int
+    cluster: int
+    fu: str
+    opcode: str
+    tag: str
+    #: Destination register name, ``None`` for stores.
+    dest: str | None
+    #: Renamed source registers, one per flow operand.
+    sources: tuple[str, ...]
+
+    def render(self) -> str:
+        lhs = f"{self.dest} = " if self.dest else ""
+        srcs = ", ".join(self.sources)
+        tag = f" ; {self.tag}" if self.tag else ""
+        return (
+            f"[c{self.cluster} {self.fu}] "
+            f"{lhs}{self.opcode}{f' {srcs}' if srcs else ''}{tag}"
+        )
+
+
+@dataclass(frozen=True)
+class RenamedKernel:
+    """The MVE-unrolled kernel: ``kuf`` copies of ``ii`` rows each.
+
+    ``copies[u][r]`` holds the renamed operations of unroll copy ``u``
+    issuing at kernel row ``r``; ``register_copies[v]`` is ``n_v``, the
+    number of rotating names value ``v`` cycles through.
+    """
+
+    loop: str
+    ii: int
+    stage_count: int
+    kuf: int
+    register_copies: dict[int, int]
+    lifetimes: dict[int, int]
+    copies: tuple[tuple[tuple[RenamedOp, ...], ...], ...]
+
+    @property
+    def total_registers(self) -> int:
+        """Register names consumed by the kernel's rotating values."""
+        return sum(self.register_copies.values())
+
+    def describe(self) -> str:
+        expanded = [v for v, n in self.register_copies.items() if n > 1]
+        return (
+            f"renamed kernel of {self.loop!r}: II={self.ii}, SC={self.stage_count}, "
+            f"KUF={self.kuf}, {self.total_registers} register(s), "
+            f"{len(expanded)} value(s) expanded"
+        )
+
+    def render(self) -> str:
+        lines = [self.describe()]
+        for value in sorted(self.lifetimes):
+            n = self.register_copies[value]
+            if n > 1:
+                lines.append(
+                    f"  value {value}: lifetime {self.lifetimes[value]} > "
+                    f"II -> {n} rotating name(s)"
+                )
+        for u, rows in enumerate(self.copies):
+            lines.append(f"  copy {u}:")
+            for r, ops in enumerate(rows):
+                if not ops:
+                    continue
+                body = " || ".join(op.render() for op in ops)
+                lines.append(f"    row {r}: {body}")
+        return "\n".join(lines)
+
+
+def _lifetimes(schedule: ModuloSchedule) -> dict[int, int]:
+    """Def-to-last-read span of every register-writing node, in cycles."""
+    graph = schedule.graph
+    ii = schedule.ii
+    spans: dict[int, int] = {}
+    for node, placed in schedule.ops.items():
+        if not graph.operation(node).writes_register:
+            continue
+        # The value exists once its latency has elapsed; that is the
+        # minimum span even with no readers.
+        span = graph.operation(node).latency
+        for dep in graph.flow_consumers(node):
+            consumer_cycle = schedule.ops[dep.dst].cycle + ii * dep.distance
+            span = max(span, consumer_cycle - placed.cycle)
+        spans[node] = span
+    return spans
+
+
+def rename_kernel(schedule: ModuloSchedule) -> RenamedKernel:
+    """Apply modulo variable expansion to a modulo schedule."""
+    code: LinearCode = linearize(schedule)
+    graph = schedule.graph
+    ii = schedule.ii
+    lifetimes = _lifetimes(schedule)
+    copies_of = {
+        node: max(1, math.ceil(span / ii)) for node, span in lifetimes.items()
+    }
+    kuf = math.lcm(*copies_of.values()) if copies_of else 1
+
+    # Self-check: every flow edge's def-to-read span must fit in the
+    # producer's rotation period (reads at the overwrite cycle are safe).
+    for node in lifetimes:
+        period = copies_of[node] * ii
+        for dep in graph.flow_consumers(node):
+            span = (
+                schedule.ops[dep.dst].cycle
+                + ii * dep.distance
+                - schedule.ops[node].cycle
+            )
+            if span > period:
+                raise VerificationError(
+                    f"MVE: value {node} read {span} cycles after its "
+                    f"definition but rotates every {period} cycles"
+                )
+        if kuf % copies_of[node]:
+            raise VerificationError(
+                f"MVE: KUF={kuf} is not a multiple of n_{node}="
+                f"{copies_of[node]}"
+            )
+
+    def reg(producer: int, copy: int, distance: int = 0) -> str:
+        n = copies_of[producer]
+        return f"r{producer}.{(copy - distance) % n}"
+
+    unrolled: list[tuple[tuple[RenamedOp, ...], ...]] = []
+    for u in range(kuf):
+        rows: list[tuple[RenamedOp, ...]] = []
+        for r, records in enumerate(code.rows):
+            ops = []
+            for rec in records:
+                sources = tuple(
+                    reg(read.producer, u, read.distance) for read in rec.reads
+                )
+                ops.append(
+                    RenamedOp(
+                        node=rec.node,
+                        copy=u,
+                        row=r,
+                        stage=rec.stage,
+                        cluster=rec.cluster,
+                        fu=f"{rec.fu_class.name}{rec.fu_index}",
+                        opcode=rec.opcode,
+                        tag=graph.operation(rec.node).tag,
+                        dest=reg(rec.node, u) if rec.writes_register else None,
+                        sources=sources,
+                    )
+                )
+            rows.append(tuple(ops))
+        unrolled.append(tuple(rows))
+
+    return RenamedKernel(
+        loop=graph.name,
+        ii=ii,
+        stage_count=code.stage_count,
+        kuf=kuf,
+        register_copies=copies_of,
+        lifetimes=lifetimes,
+        copies=tuple(unrolled),
+    )

@@ -15,6 +15,46 @@ class GraphError(ReproError):
     """A dependence graph is malformed (unknown node, bad edge, ...)."""
 
 
+class WorkloadError(ReproError, KeyError):
+    """A workload name, alias or parametrisation cannot be resolved.
+
+    Also subclasses :class:`KeyError` so callers of the historical
+    ``resolve_kernel`` / ``build_program`` APIs (which raised bare
+    ``KeyError``) keep working unchanged.  ``suggestion`` carries a
+    did-you-mean candidate when one is close enough to print.
+    """
+
+    def __init__(self, message: str, *, suggestion: str | None = None):
+        super().__init__(message)
+        self.suggestion = suggestion
+
+    def __str__(self) -> str:
+        # KeyError.__str__ repr()s the message; restore plain text and
+        # append the did-you-mean hint when there is one.
+        message = self.args[0] if self.args else ""
+        if self.suggestion:
+            return f"{message} (did you mean {self.suggestion!r}?)"
+        return str(message)
+
+
+class ParseError(ReproError):
+    """A textual loop-IR program is malformed (:mod:`repro.ir.frontend`).
+
+    Carries the 1-based ``line`` and ``col`` of the offending token and
+    the ``source`` label (file name or ``<string>``); the rendered
+    message always leads with ``source:line:col`` so editors and CI logs
+    can jump straight to the problem.
+    """
+
+    def __init__(
+        self, message: str, *, source: str = "<loop>", line: int = 0, col: int = 0
+    ):
+        super().__init__(f"{source}:{line}:{col}: {message}")
+        self.source = source
+        self.line = line
+        self.col = col
+
+
 class ConfigError(ReproError):
     """A machine configuration is inconsistent or unsupported."""
 

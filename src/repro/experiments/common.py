@@ -53,6 +53,7 @@ from ..runner.scenario import (
     GridItem,
     PointResult,
     ScenarioPoint,
+    program_payload,
     scenario_for,
 )
 from ..sim.crosscheck import CrossCheck
@@ -67,6 +68,7 @@ __all__ = [
     "global_context",
     "make_scheduler",
     "paper_machine",
+    "program_grid",
     "sequential_fallback",
     "suite_grid",
 ]
@@ -98,6 +100,42 @@ def suite_grid(
         (scenario_for(loop, config, scheduler, policy, rule, simulate=simulate), loop)
         for program in suite
         for loop in program.eligible_loops()
+    ]
+
+
+def program_grid(
+    loop: Loop,
+    configs: list[MachineConfig],
+    schedulers: tuple[str, ...] = ("bsa",),
+    policies: tuple[UnrollPolicy, ...] = (UnrollPolicy.NONE,),
+    rule: SelectiveRule = SelectiveRule.MII_UNROLLED,
+    *,
+    simulate: bool = False,
+) -> list[GridItem]:
+    """Scenario grid for one *user-supplied* loop over machines/algorithms.
+
+    The front-door twin of :func:`suite_grid`: every point embeds the
+    loop's full payload (:func:`repro.runner.scenario.program_payload`),
+    so the grid sweeps, caches and distributes over the fabric exactly
+    like a catalogue grid even though the loop exists in no registry.
+    """
+    payload = program_payload(loop)
+    return [
+        (
+            scenario_for(
+                loop,
+                config,
+                scheduler,
+                policy,
+                rule,
+                simulate=simulate,
+                program=payload,
+            ),
+            loop,
+        )
+        for config in configs
+        for scheduler in schedulers
+        for policy in policies
     ]
 
 

@@ -2,6 +2,7 @@
 
 from .builder import LoopBuilder, Value
 from .ddg import Dependence, DependenceGraph, DepKind, merge_graphs
+from .frontend import LOOP_SUFFIX, parse_file, parse_program
 from .loop import MIN_MODULO_TRIP_COUNT, Loop, Program
 from .operation import DEFAULT_CATALOG, FuClass, OpCatalog, Opcode, Operation
 from .serialize import (
@@ -27,6 +28,7 @@ from .unroll import (
 
 __all__ = [
     "DEFAULT_CATALOG",
+    "LOOP_SUFFIX",
     "MIN_MODULO_TRIP_COUNT",
     "Dependence",
     "DependenceGraph",
@@ -55,5 +57,7 @@ __all__ = [
     "count_cross_copy_deps",
     "merge_graphs",
     "original_node",
+    "parse_file",
+    "parse_program",
     "unroll_graph",
 ]

@@ -1,0 +1,410 @@
+"""Textual loop-IR frontend: parse ``.loop`` programs into :class:`Loop`.
+
+The format is a small RISC-like assembly for one innermost loop body,
+organised as three basic blocks in the classic software-pipelining shape
+(preamble / body / postamble):
+
+.. code-block:: text
+
+    # y[i] = a * x[i] + y[i], 100 iterations        (comments with '#')
+    loop daxpy           # optional: graph name
+    trip 100             # optional: trip count (default 100)
+
+    BB0:                 # loop-invariant inputs (live-ins / constants)
+        a = live
+        q = const 2.5
+
+    BB1:                 # the loop body: dest = opcode operands...
+        x  = load x[i]
+        y  = load y[i]
+        ax = fmul x, a
+        s  = fadd ax, y
+        store s, y[i]
+
+    BB2:                 # must be empty: the loop writes no live-outs
+                         # beyond memory (stores happen in BB1)
+
+Instruction forms inside ``BB1``:
+
+``dest = OPCODE op1, op2, ...``
+    Any opcode of the machine catalogue (``fadd``, ``fmul``, ``iadd``,
+    ``gen``, ...).  Operands are previously defined names; a carried use
+    from ``N`` iterations ago is written ``name@N`` (``N >= 1``), and may
+    forward-reference a name defined later in the body — that is how
+    recurrences are spelled, e.g. ``s = fadd m, s@1``.
+``dest = load LABEL`` / ``dest = load LABEL, addr``
+    A memory load; ``LABEL`` is a free-form memory reference used as the
+    node tag.  The optional second operand is an address value.
+``store value, LABEL`` / ``store value, LABEL, addr``
+    A memory store (no destination: stores produce no register value).
+``order first, second`` / ``order first, second, N``
+    An explicit memory-ordering edge at iteration distance ``N``
+    (default 0), serialising two memory operations.
+
+Every malformed construct raises :class:`~repro.errors.ParseError` with
+the 1-based line and column of the offending token.  The result is a
+:class:`~repro.ir.loop.Loop` whose graph validates and content-hashes
+exactly like a hand-built one, so parsed programs flow through caching,
+sweeps and the fabric unchanged.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..errors import ParseError
+from .builder import LoopBuilder, Value
+from .loop import Loop
+from .operation import DEFAULT_CATALOG, OpCatalog
+
+__all__ = ["parse_program", "parse_file", "LOOP_SUFFIX"]
+
+#: File extension the CLI treats as a textual loop program.
+LOOP_SUFFIX = ".loop"
+
+_NAME_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_]*")
+_OPERAND_RE = re.compile(r"([A-Za-z_][A-Za-z0-9_]*)(@(\d+))?$")
+_SECTION_RE = re.compile(r"(BB[0-9]+):\s*$")
+
+
+@dataclass
+class _Operand:
+    name: str
+    distance: int
+    col: int
+
+
+@dataclass
+class _Inst:
+    kind: str  # "op" | "load" | "store" | "order"
+    lineno: int
+    col: int
+    dest: str | None = None
+    opcode: str | None = None
+    operands: list[_Operand] = field(default_factory=list)
+    label: str = ""  # memory reference label for load/store
+    distance: int = 0  # for "order"
+
+
+class _Parser:
+    def __init__(self, text: str, source: str, catalog: OpCatalog):
+        self.lines = text.splitlines()
+        self.source = source
+        self.catalog = catalog
+        self.loop_name: str | None = None
+        self.trip: int | None = None
+        self.live_ins: dict[str, int] = {}  # name -> lineno
+        self.insts: list[_Inst] = []
+        self.defs: dict[str, int] = {}  # dest name -> index into insts
+
+    def err(self, message: str, lineno: int, col: int):
+        raise ParseError(message, source=self.source, line=lineno, col=col)
+
+    # -- small lexing helpers -------------------------------------------
+    @staticmethod
+    def _strip_comment(line: str) -> str:
+        cut = line.find("#")
+        return line if cut < 0 else line[:cut]
+
+    def _operand(self, text: str, lineno: int, col: int) -> _Operand:
+        m = _OPERAND_RE.match(text)
+        if not m:
+            self.err(f"malformed operand {text!r} (expected NAME or NAME@N)",
+                     lineno, col)
+        name, _, dist = m.groups()
+        distance = int(dist) if dist is not None else 0
+        if dist is not None and distance < 1:
+            self.err(
+                f"carried distance must be >= 1 in {text!r} "
+                f"(@0 is just a plain use)",
+                lineno, col,
+            )
+        return _Operand(name, distance, col)
+
+    def _split_fields(self, text: str, base_col: int) -> list[tuple[str, int]]:
+        """Comma-split with per-field 1-based column positions."""
+        fields = []
+        pos = 0
+        for part in text.split(","):
+            stripped = part.strip()
+            offset = part.index(stripped) if stripped else 0
+            fields.append((stripped, base_col + pos + offset))
+            pos += len(part) + 1
+        return fields
+
+    # -- line dispatch ---------------------------------------------------
+    def parse(self) -> None:
+        section: str | None = None
+        for lineno, raw in enumerate(self.lines, start=1):
+            line = self._strip_comment(raw)
+            stripped = line.strip()
+            if not stripped:
+                continue
+            col = line.index(stripped) + 1
+            m = _SECTION_RE.match(stripped)
+            if m:
+                order = {"BB0": 0, "BB1": 1, "BB2": 2}
+                if m.group(1) not in order:
+                    self.err(f"unknown section {m.group(1)!r}", lineno, col)
+                if section is not None and order[m.group(1)] <= order[section]:
+                    self.err(
+                        f"section {m.group(1)!r} out of order (after {section!r})",
+                        lineno, col,
+                    )
+                section = m.group(1)
+                continue
+            if section is None:
+                self._parse_directive(stripped, lineno, col)
+            elif section == "BB0":
+                self._parse_live_in(stripped, lineno, col)
+            elif section == "BB1":
+                self._parse_instruction(stripped, lineno, col)
+            else:  # BB2
+                self.err(
+                    "BB2 must be empty: the loop body ends at BB1 "
+                    "(live-outs leave through memory stores)",
+                    lineno, col,
+                )
+        if not self.insts:
+            self.err("program has no BB1 instructions", len(self.lines) or 1, 1)
+
+    def _parse_directive(self, text: str, lineno: int, col: int) -> None:
+        parts = text.split(None, 1)
+        if parts[0] == "loop":
+            if len(parts) != 2 or not _NAME_RE.fullmatch(parts[1].strip()):
+                self.err("expected 'loop NAME'", lineno, col)
+            self.loop_name = parts[1].strip()
+        elif parts[0] == "trip":
+            try:
+                self.trip = int(parts[1].strip())
+            except (IndexError, ValueError):
+                self.err("expected 'trip N' with integer N", lineno, col)
+            if self.trip < 1:
+                self.err(f"trip count must be >= 1, got {self.trip}", lineno, col)
+        else:
+            self.err(
+                f"unexpected {parts[0]!r} before BB0: (only 'loop NAME' and "
+                f"'trip N' directives may appear here)",
+                lineno, col,
+            )
+
+    def _check_fresh(self, name: str, lineno: int, col: int) -> None:
+        if name in self.live_ins:
+            self.err(f"duplicate definition of {name!r} (first a live-in)",
+                     lineno, col)
+        if name in self.defs:
+            first = self.insts[self.defs[name]].lineno
+            self.err(
+                f"duplicate definition of {name!r} (first defined on line {first})",
+                lineno, col,
+            )
+
+    def _parse_live_in(self, text: str, lineno: int, col: int) -> None:
+        m = re.match(r"([A-Za-z_][A-Za-z0-9_]*)\s*=\s*(live|const)(\s+\S+)?\s*$",
+                     text)
+        if not m:
+            self.err(
+                "expected 'name = live' or 'name = const [literal]' in BB0",
+                lineno, col,
+            )
+        name = m.group(1)
+        self._check_fresh(name, lineno, col)
+        self.live_ins[name] = lineno
+
+    def _parse_instruction(self, text: str, lineno: int, col: int) -> None:
+        head = text.split(None, 1)
+        if head[0] == "store":
+            self._parse_store(head[1] if len(head) > 1 else "", lineno, col)
+            return
+        if head[0] == "order":
+            self._parse_order(head[1] if len(head) > 1 else "", lineno, col)
+            return
+        if "=" not in text:
+            self.err(
+                f"expected 'dest = opcode ...', 'store ...' or 'order ...', "
+                f"got {text!r}",
+                lineno, col,
+            )
+        dest_text, rhs = text.split("=", 1)
+        dest = dest_text.strip()
+        if not _NAME_RE.fullmatch(dest):
+            self.err(f"bad destination name {dest!r}", lineno, col)
+        self._check_fresh(dest, lineno, col)
+        rhs_col = col + text.index("=") + 1 + (len(rhs) - len(rhs.lstrip()))
+        rhs = rhs.strip()
+        if not rhs:
+            self.err(f"missing right-hand side for {dest!r}", lineno, rhs_col)
+        parts = rhs.split(None, 1)
+        opcode = parts[0]
+        arg_text = parts[1] if len(parts) > 1 else ""
+        arg_col = rhs_col + (rhs.index(arg_text) if arg_text else 0)
+        if opcode == "load":
+            self._parse_load(dest, arg_text, lineno, col, arg_col)
+            return
+        if opcode in ("live", "const"):
+            self.err(
+                f"{opcode!r} definitions belong in BB0, not BB1", lineno, rhs_col
+            )
+        if opcode not in self.catalog:
+            self.err(
+                f"unknown opcode {opcode!r}; catalogue: "
+                f"{sorted(self.catalog.names())}",
+                lineno, rhs_col,
+            )
+        if not self.catalog[opcode].writes_register:
+            self.err(
+                f"opcode {opcode!r} produces no register value; "
+                f"it cannot define {dest!r}",
+                lineno, rhs_col,
+            )
+        inst = _Inst("op", lineno, col, dest=dest, opcode=opcode)
+        for text_field, field_col in self._split_fields(arg_text, arg_col):
+            if not text_field:
+                self.err("empty operand", lineno, field_col)
+            inst.operands.append(self._operand(text_field, lineno, field_col))
+        self.defs[dest] = len(self.insts)
+        self.insts.append(inst)
+
+    def _parse_load(
+        self, dest: str, arg_text: str, lineno: int, col: int, arg_col: int
+    ) -> None:
+        inst = _Inst("load", lineno, col, dest=dest, opcode="load")
+        fields = self._split_fields(arg_text, arg_col) if arg_text.strip() else []
+        if len(fields) > 2:
+            self.err("load takes at most 'LABEL, addr'", lineno, fields[2][1])
+        if fields:
+            inst.label = fields[0][0]
+        if len(fields) == 2:
+            inst.operands.append(self._operand(fields[1][0], lineno, fields[1][1]))
+        self.defs[dest] = len(self.insts)
+        self.insts.append(inst)
+
+    def _parse_store(self, arg_text: str, lineno: int, col: int) -> None:
+        if not arg_text.strip():
+            self.err("store needs a value operand", lineno, col)
+        fields = self._split_fields(arg_text, col + len("store "))
+        if len(fields) > 3:
+            self.err("store takes at most 'value, LABEL, addr'",
+                     lineno, fields[3][1])
+        inst = _Inst("store", lineno, col, opcode="store")
+        inst.operands.append(self._operand(fields[0][0], lineno, fields[0][1]))
+        if len(fields) >= 2:
+            inst.label = fields[1][0]
+        if len(fields) == 3:
+            inst.operands.append(self._operand(fields[2][0], lineno, fields[2][1]))
+        self.insts.append(inst)
+
+    def _parse_order(self, arg_text: str, lineno: int, col: int) -> None:
+        fields = self._split_fields(arg_text, col + len("order "))
+        if len(fields) not in (2, 3):
+            self.err("expected 'order first, second[, distance]'", lineno, col)
+        inst = _Inst("order", lineno, col)
+        for text_field, field_col in fields[:2]:
+            operand = self._operand(text_field, lineno, field_col)
+            if operand.distance:
+                self.err("order operands are plain names; the distance is the "
+                         "optional third field", lineno, field_col)
+            inst.operands.append(operand)
+        if len(fields) == 3:
+            try:
+                inst.distance = int(fields[2][0])
+            except ValueError:
+                self.err(f"bad order distance {fields[2][0]!r}",
+                         lineno, fields[2][1])
+            if inst.distance < 0:
+                self.err("order distance must be >= 0", lineno, fields[2][1])
+        self.insts.append(inst)
+
+    # -- graph construction ----------------------------------------------
+    def build(self, default_name: str) -> Loop:
+        b = LoopBuilder(self.loop_name or default_name, self.catalog)
+        values: dict[str, Value] = {
+            name: b.live_in(name) for name in self.live_ins
+        }
+        node_of: list[Value] = []
+        for inst in self.insts:
+            if inst.kind == "order":
+                node_of.append(Value(None))  # placeholder, no node
+                continue
+            tag = inst.label or inst.dest or inst.opcode or ""
+            value = b.op(inst.opcode, tag=tag)
+            node_of.append(value)
+            if inst.dest is not None:
+                values[inst.dest] = value
+
+        def resolve(operand: _Operand, index: int, lineno: int) -> Value:
+            value = values.get(operand.name)
+            if value is None:
+                self.err(
+                    f"use of undefined value {operand.name!r}",
+                    lineno, operand.col,
+                )
+            if value.node_id is None:  # a live-in
+                if operand.distance:
+                    self.err(
+                        f"{operand.name!r} is a live-in; loop-invariant values "
+                        f"have no carried distance",
+                        lineno, operand.col,
+                    )
+                return value
+            def_index = self.defs[operand.name]
+            if operand.distance == 0 and def_index >= index:
+                self.err(
+                    f"use of {operand.name!r} before its definition "
+                    f"(a cross-iteration use needs an explicit @distance)",
+                    lineno, operand.col,
+                )
+            return value
+
+        for index, inst in enumerate(self.insts):
+            if inst.kind == "order":
+                first, second = inst.operands
+                for operand in (first, second):
+                    if operand.name not in self.defs:
+                        self.err(
+                            f"order names unknown operation {operand.name!r}",
+                            inst.lineno, operand.col,
+                        )
+                b.mem_order(
+                    node_of[self.defs[first.name]],
+                    node_of[self.defs[second.name]],
+                    distance=inst.distance,
+                )
+                continue
+            consumer = node_of[index]
+            for operand in inst.operands:
+                producer = resolve(operand, index, inst.lineno)
+                if producer.node_id is None:
+                    continue  # live-ins carry no dependence
+                b.carried_use(producer, consumer, distance=operand.distance)
+        graph = b.build()
+        return Loop(graph=graph, trip_count=self.trip or 100)
+
+
+def parse_program(
+    text: str,
+    *,
+    name: str | None = None,
+    source: str = "<loop>",
+    catalog: OpCatalog = DEFAULT_CATALOG,
+) -> Loop:
+    """Parse ``.loop`` source text into a :class:`Loop`.
+
+    ``name`` is the graph name used when the program has no ``loop NAME``
+    directive; ``source`` labels :class:`ParseError` locations.
+    """
+    parser = _Parser(text, source, catalog)
+    parser.parse()
+    return parser.build(name or "loop")
+
+
+def parse_file(path: str | Path, *, catalog: OpCatalog = DEFAULT_CATALOG) -> Loop:
+    """Parse a ``.loop`` file; the default loop name is the file stem."""
+    path = Path(path)
+    try:
+        text = path.read_text()
+    except OSError as exc:
+        raise ParseError(str(exc), source=str(path), line=0, col=0) from None
+    return parse_program(text, name=path.stem, source=str(path), catalog=catalog)

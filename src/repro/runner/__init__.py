@@ -43,6 +43,7 @@ from .scenario import (
     ScenarioPoint,
     graph_content_hash,
     machine_to_json,
+    program_payload,
     scenario_for,
 )
 
@@ -64,6 +65,7 @@ __all__ = [
     "machine_to_json",
     "make_scheduler",
     "make_worker_pool",
+    "program_payload",
     "run_sweep",
     "scenario_for",
     "scheduler_table",

@@ -19,6 +19,13 @@ service handler threads in one process, or a sweep killed mid-write —
 can never publish a torn entry or trample each other's temp files; a
 corrupt or unreadable file is treated as a miss and overwritten.  The cache root defaults to ``~/.cache/repro-vliw`` and is
 overridable via ``$REPRO_VLIW_CACHE`` or per instance.
+
+User-supplied workloads (frontend ``.loop`` programs, inline service
+programs) cache exactly like catalogue loops: their full loop payload
+rides in ``ScenarioPoint.program`` and therefore participates in
+``canonical()`` — two textually different programs can never collide,
+while catalogue points (empty ``program``, key omitted) keep their
+historical hashes byte-for-byte.
 """
 
 from __future__ import annotations

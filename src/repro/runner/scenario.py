@@ -105,6 +105,12 @@ class ScenarioPoint:
     miss_rate / miss_penalty / seed:
         Optional memory-model parameters for simulated points
         (``miss_rate == 0`` is the paper's perfect memory).
+    program:
+        Canonical loop payload (:func:`program_payload`) for user-supplied
+        workloads that exist in no catalogue — frontend-parsed ``.loop``
+        programs, inline service programs.  Empty for catalogue loops, and
+        *omitted from the canonical identity when empty*, so every
+        pre-existing point hashes exactly as before.
     """
 
     loop: str
@@ -118,10 +124,31 @@ class ScenarioPoint:
     miss_rate: float = 0.0
     miss_penalty: int = 0
     seed: int = 0
+    program: str = ""
 
     def canonical(self) -> str:
-        """Canonical JSON identity of this point (the memo/cache key)."""
-        return _canonical_json(asdict(self))
+        """Canonical JSON identity of this point (the memo/cache key).
+
+        The ``program`` payload participates only when present: catalogue
+        points keep their historical identity byte-for-byte, while a
+        user program's full content (already summarised by ``graph_hash``)
+        still travels with the point so any worker can rebuild it.
+        """
+        data = asdict(self)
+        if not data["program"]:
+            del data["program"]
+        return _canonical_json(data)
+
+    def program_loop(self) -> Loop:
+        """Rebuild the embedded user program as a live :class:`Loop`.
+
+        Only valid for points carrying a ``program`` payload.
+        """
+        from ..ir.serialize import loop_from_dict
+
+        if not self.program:
+            raise ValueError(f"point {self.loop!r} carries no program payload")
+        return loop_from_dict(json.loads(self.program))
 
     def config(self) -> "MachineConfig":
         """The machine configuration this point targets."""
@@ -150,6 +177,7 @@ class ScenarioPoint:
             scheduler=self.scheduler,
             policy=self.policy,
             rule=self.rule,
+            program=self.program,
         )
 
     def describe(self) -> str:
@@ -159,6 +187,19 @@ class ScenarioPoint:
             f"{self.loop} @ {json.loads(self.machine)['name']} "
             f"[{self.scheduler}/{self.policy}]{sim}"
         )
+
+
+def program_payload(loop: Loop) -> str:
+    """Canonical JSON payload of a user-supplied loop.
+
+    Embedded in :class:`ScenarioPoint.program` so that non-catalogue
+    workloads are self-describing: a fabric worker (or a cold cache miss
+    on another machine) rebuilds the exact loop from the point alone via
+    :meth:`ScenarioPoint.program_loop`.
+    """
+    from ..ir.serialize import loop_to_dict
+
+    return _canonical_json(loop_to_dict(loop))
 
 
 def scenario_for(
@@ -173,11 +214,14 @@ def scenario_for(
     miss_rate: float = 0.0,
     miss_penalty: int = 0,
     seed: int = 0,
+    program: str = "",
 ) -> ScenarioPoint:
     """Build the :class:`ScenarioPoint` for one (loop, machine, algorithm)
     data point.
 
     *niter* defaults to the loop's trip count when *simulate* is set.
+    Pass ``program=program_payload(loop)`` for user-supplied loops that
+    exist in no catalogue, making the point self-describing.
     """
     return ScenarioPoint(
         loop=loop.name,
@@ -191,6 +235,7 @@ def scenario_for(
         miss_rate=miss_rate if simulate else 0.0,
         miss_penalty=miss_penalty if simulate else 0,
         seed=seed if simulate else 0,
+        program=program,
     )
 
 

@@ -41,13 +41,21 @@ from typing import Any
 from ..arch.configs import clustered_config, unified_config
 from ..codegen.vliw import render_schedule
 from ..core.selective import SelectiveRule, UnrollPolicy
-from ..errors import ServiceError
+from ..errors import ParseError, ServiceError, WorkloadError
 from ..fabric.coordinator import FabricCoordinator
 from ..obs.metrics import MetricsRegistry
 from ..runner.cache import ResultCache
 from ..runner.engine import SCHEDULERS, execute_point, execute_points, make_worker_pool
 from ..runner.grids import GRIDS
-from ..runner.scenario import GridItem, PointResult, ScenarioPoint, scenario_for
+from ..ir.frontend import parse_program
+from ..ir.loop import Loop
+from ..runner.scenario import (
+    GridItem,
+    PointResult,
+    ScenarioPoint,
+    program_payload,
+    scenario_for,
+)
 from ..workloads.kernels import kernel_loop, resolve_kernel
 
 __all__ = [
@@ -105,7 +113,7 @@ class ScheduleRequest:
     executable.
     """
 
-    kernel: str
+    kernel: str | None = None
     clusters: int = 4
     buses: int = 1
     latency: int = 1
@@ -117,11 +125,15 @@ class ScheduleRequest:
     miss_rate: float = 0.0
     miss_penalty: int = 10
     seed: int = 0
+    #: Inline textual loop-IR source (the workload front door): exactly
+    #: one of ``kernel`` / ``program`` must be set.
+    program: str | None = None
 
     #: Payload keys accepted by :meth:`from_payload` (anything else is a
     #: typo worth rejecting loudly rather than silently ignoring).
     FIELDS = (
         "kernel",
+        "program",
         "clusters",
         "buses",
         "latency",
@@ -149,14 +161,33 @@ class ScheduleRequest:
         unknown = sorted(set(data) - set(cls.FIELDS))
         _require(not unknown, f"unknown request field(s): {unknown}")
         kernel = data.get("kernel")
+        program = data.get("program")
         _require(
-            isinstance(kernel, str) and bool(kernel),
-            "'kernel' (a kernel name or alias) is required",
+            (kernel is None) != (program is None),
+            "exactly one of 'kernel' (a registered name) or 'program' "
+            "(inline .loop source) is required",
         )
-        try:
-            canonical_kernel, _ = resolve_kernel(kernel)
-        except KeyError as exc:
-            raise RequestError(str(exc.args[0])) from None
+        canonical_kernel = None
+        if kernel is not None:
+            _require(
+                isinstance(kernel, str) and bool(kernel),
+                "'kernel' (a kernel name or alias) is required",
+            )
+            try:
+                canonical_kernel, _ = resolve_kernel(kernel)
+            except WorkloadError as exc:
+                raise RequestError(str(exc)) from None
+            except KeyError as exc:
+                raise RequestError(str(exc.args[0])) from None
+        else:
+            _require(
+                isinstance(program, str) and bool(program.strip()),
+                "'program' must be non-empty .loop source text",
+            )
+            try:
+                parse_program(program, name="program", source="<request>")
+            except ParseError as exc:
+                raise RequestError(str(exc)) from None
 
         clusters = _as_int(data, "clusters", cls.clusters)
         buses = _as_int(data, "buses", cls.buses)
@@ -211,6 +242,7 @@ class ScheduleRequest:
         seed = _as_int(data, "seed", cls.seed)
         return cls(
             kernel=canonical_kernel,
+            program=program,
             clusters=clusters,
             buses=buses,
             latency=latency,
@@ -232,8 +264,22 @@ class ScheduleRequest:
         return clustered_config(self.clusters, self.buses, self.latency)
 
     def grid_item(self) -> GridItem:
-        """The ``(ScenarioPoint, Loop)`` work unit for this request."""
-        loop = kernel_loop(self.kernel, trip_count=self.niter)
+        """The ``(ScenarioPoint, Loop)`` work unit for this request.
+
+        Inline programs parse here (already validated by
+        :meth:`from_payload`) and embed their full loop payload in the
+        point, so they cache, dedupe and distribute like any catalogue
+        kernel without ever entering a registry.
+        """
+        if self.program is not None:
+            parsed = parse_program(
+                self.program, name="program", source="<request>"
+            )
+            loop = Loop(graph=parsed.graph, trip_count=self.niter)
+            payload = program_payload(loop)
+        else:
+            loop = kernel_loop(self.kernel, trip_count=self.niter)
+            payload = ""
         point = scenario_for(
             loop,
             self.config(),
@@ -245,6 +291,7 @@ class ScheduleRequest:
             miss_rate=self.miss_rate,
             miss_penalty=self.miss_penalty,
             seed=self.seed,
+            program=payload,
         )
         return point, loop
 

@@ -18,10 +18,14 @@ Routes::
     GET  /stats      queue / dedupe / cache counters
     GET  /metrics    Prometheus text exposition of the service registry
 
-``POST`` bodies accept ``"wait"`` (default ``true``: block until the job
-completes and inline its results) and ``"timeout_s"`` (default 300; on
-expiry the response is ``202`` with the job id, and the client polls
-``/jobs/<id>``).  Errors are JSON too: ``{"error": ...}`` with 400 for
+``POST /schedule`` takes either a ``"kernel"`` (registered workload
+name or alias) or an inline ``"program"`` — textual loop-IR source as
+accepted by :mod:`repro.ir.frontend` — never both; malformed programs
+come back as 400s whose error text carries the parser's
+``source:line:col`` location.  ``POST`` bodies accept ``"wait"``
+(default ``true``: block until the job completes and inline its
+results) and ``"timeout_s"`` (default 300; on expiry the response is
+``202`` with the job id, and the client polls ``/jobs/<id>``).  Errors are JSON too: ``{"error": ...}`` with 400 for
 malformed requests, 404 for unknown routes/jobs, 503 while shutting
 down; the fabric routes add 409 (version mismatch, duplicate post) and
 410 (expired or unknown lease) per the protocol's error taxonomy.

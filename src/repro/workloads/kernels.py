@@ -3,17 +3,26 @@
 Small, exactly-understood dependence graphs used by the examples, the unit
 tests (known MII values) and as building blocks of the synthetic suite.
 Each function returns a fresh :class:`~repro.ir.ddg.DependenceGraph`.
+
+All kernels register through :mod:`repro.workloads.registry` under the
+``"kernel"`` tag; ``ALL_KERNELS`` / ``KERNEL_ALIASES`` / ``kernel_table``
+/ ``resolve_kernel`` are thin views over that registry kept for
+compatibility (and because "the classic catalogue" is still a useful
+subset to iterate).
 """
 
 from __future__ import annotations
 
 from typing import Callable
 
+from ..errors import WorkloadError
 from ..ir.builder import LoopBuilder
 from ..ir.ddg import DependenceGraph
 from ..ir.loop import Loop
+from .registry import register_workload, resolve_workload, workloads
 
 
+@register_workload("daxpy", tags=("kernel",))
 def daxpy() -> DependenceGraph:
     """``y[i] = a * x[i] + y[i]`` — fully parallel iterations."""
     b = LoopBuilder("daxpy")
@@ -25,6 +34,7 @@ def daxpy() -> DependenceGraph:
     return b.build()
 
 
+@register_workload("vadd", aliases=("vector_add",), tags=("kernel",))
 def vector_add() -> DependenceGraph:
     """``c[i] = a[i] + b[i]``."""
     b = LoopBuilder("vadd")
@@ -35,6 +45,7 @@ def vector_add() -> DependenceGraph:
     return b.build()
 
 
+@register_workload("dot", aliases=("dot_product",), tags=("kernel",))
 def dot_product() -> DependenceGraph:
     """``s += x[i] * y[i]`` — a serial reduction (RecMII = fadd latency)."""
     b = LoopBuilder("dot")
@@ -46,6 +57,7 @@ def dot_product() -> DependenceGraph:
     return b.build()
 
 
+@register_workload("rec1", aliases=("first_order_recurrence",), tags=("kernel",))
 def first_order_recurrence() -> DependenceGraph:
     """``x[i] = a * x[i-1] + b[i]`` — the classic linear recurrence."""
     b = LoopBuilder("rec1")
@@ -57,6 +69,7 @@ def first_order_recurrence() -> DependenceGraph:
     return b.build()
 
 
+@register_workload("stencil3", tags=("kernel",))
 def stencil3() -> DependenceGraph:
     """``b[i] = w0*a[i-1] + w1*a[i] + w2*a[i+1]`` — parallel 3-point stencil."""
     b = LoopBuilder("stencil3")
@@ -71,6 +84,7 @@ def stencil3() -> DependenceGraph:
     return b.build()
 
 
+@register_workload("stencil5", tags=("kernel",))
 def stencil5() -> DependenceGraph:
     """Five-point stencil with address arithmetic (int/mem/fp mix)."""
     b = LoopBuilder("stencil5")
@@ -83,6 +97,7 @@ def stencil5() -> DependenceGraph:
     return b.build()
 
 
+@register_workload("fir4", aliases=("fir_filter",), tags=("kernel",))
 def fir_filter(taps: int = 4) -> DependenceGraph:
     """``y[i] = sum_k c[k] * x[i+k]`` with unrolled taps; serial accumulate."""
     b = LoopBuilder(f"fir{taps}")
@@ -95,6 +110,19 @@ def fir_filter(taps: int = 4) -> DependenceGraph:
     return b.build()
 
 
+# The same builder again as a *parametric family*: ``fir(taps=8)`` etc.
+# Not tagged "kernel" so the classic catalogue (and every output derived
+# from it) is unchanged; the graph is named after the tap count, so each
+# parametrisation content-hashes distinctly in the result cache.
+register_workload(
+    "fir",
+    tags=("parametric",),
+    params={"taps": 4},
+    description="Parametric FIR filter family; instance names like fir(taps=8).",
+)(fir_filter)
+
+
+@register_workload("cmul", aliases=("complex_multiply",), tags=("kernel",))
 def complex_multiply() -> DependenceGraph:
     """``c[i] = a[i] * b[i]`` on complex values (4 muls, 2 adds)."""
     b = LoopBuilder("cmul")
@@ -109,6 +137,7 @@ def complex_multiply() -> DependenceGraph:
     return b.build()
 
 
+@register_workload("hydro", aliases=("hydro_fragment",), tags=("kernel",))
 def hydro_fragment() -> DependenceGraph:
     """Livermore loop 1 (hydro fragment): ``x[k] = q + y[k]*(r*z[k+10] + t*z[k+11])``."""
     b = LoopBuilder("hydro")
@@ -124,6 +153,7 @@ def hydro_fragment() -> DependenceGraph:
     return b.build()
 
 
+@register_workload("tridiag", aliases=("tridiag_solver_step",), tags=("kernel",))
 def tridiag_solver_step() -> DependenceGraph:
     """Livermore loop 5 (tri-diagonal elimination): carried through x[i-1]."""
     b = LoopBuilder("tridiag")
@@ -136,6 +166,7 @@ def tridiag_solver_step() -> DependenceGraph:
     return b.build()
 
 
+@register_workload("sqrtnorm", aliases=("sqrt_norm",), tags=("kernel",))
 def sqrt_norm() -> DependenceGraph:
     """``n[i] = sqrt(x[i]^2 + y[i]^2)`` — long-latency FP path."""
     b = LoopBuilder("sqrtnorm")
@@ -147,6 +178,7 @@ def sqrt_norm() -> DependenceGraph:
     return b.build()
 
 
+@register_workload("gather", aliases=("indirect_gather",), tags=("kernel",))
 def indirect_gather() -> DependenceGraph:
     """``y[i] = a[idx[i]] * s`` — int address chain feeding memory."""
     b = LoopBuilder("gather")
@@ -158,6 +190,7 @@ def indirect_gather() -> DependenceGraph:
     return b.build()
 
 
+@register_workload("fib", aliases=("second_order_recurrence",), tags=("kernel",))
 def second_order_recurrence() -> DependenceGraph:
     """``f[i] = f[i-1] + f[i-2]`` style — distance-2 recurrence (RecMII sensitive)."""
     b = LoopBuilder("fib")
@@ -169,6 +202,7 @@ def second_order_recurrence() -> DependenceGraph:
     return b.build()
 
 
+@register_workload("figure7", aliases=("figure7_graph",), tags=("kernel",))
 def figure7_graph() -> DependenceGraph:
     """The 6-node example of the paper's Figure 7.
 
@@ -197,6 +231,7 @@ def figure7_graph() -> DependenceGraph:
     return g
 
 
+@register_workload("ladder", aliases=("ladder_graph",), tags=("kernel",))
 def ladder_graph() -> DependenceGraph:
     """A 12-operation "ladder" that is provably bus limited when clustered.
 
@@ -223,22 +258,11 @@ def ladder_graph() -> DependenceGraph:
     return g
 
 
+#: The classic catalogue: every workload registered above with the
+#: ``"kernel"`` tag, in registration order.  Kept as a plain dict because
+#: a lot of tests and experiments iterate it directly.
 ALL_KERNELS = {
-    "daxpy": daxpy,
-    "vadd": vector_add,
-    "dot": dot_product,
-    "rec1": first_order_recurrence,
-    "stencil3": stencil3,
-    "stencil5": stencil5,
-    "fir4": fir_filter,
-    "cmul": complex_multiply,
-    "hydro": hydro_fragment,
-    "tridiag": tridiag_solver_step,
-    "sqrtnorm": sqrt_norm,
-    "gather": indirect_gather,
-    "fib": second_order_recurrence,
-    "figure7": figure7_graph,
-    "ladder": ladder_graph,
+    spec.name: spec.factory for spec in workloads(tag="kernel", discover=False)
 }
 
 #: Accept the builder functions' own names too (``dot_product`` for ``dot``
@@ -246,7 +270,9 @@ ALL_KERNELS = {
 #: canonical-name -> alias table is printed by ``repro-vliw schedule
 #: --list`` (see :func:`kernel_table`) and documented in README.md.
 KERNEL_ALIASES = {
-    fn.__name__: short for short, fn in ALL_KERNELS.items() if fn.__name__ != short
+    alias: spec.name
+    for spec in workloads(tag="kernel", discover=False)
+    for alias in spec.aliases
 }
 
 
@@ -258,28 +284,41 @@ def kernel_table() -> list[dict]:
     one-line description from its docstring.  This single source feeds
     ``repro-vliw schedule --list`` and the README table.
     """
-    aliases_by_canonical = {short: long for long, short in KERNEL_ALIASES.items()}
     rows = []
-    for name, fn in ALL_KERNELS.items():
-        doc = (fn.__doc__ or "").strip().splitlines()
+    for spec in workloads(tag="kernel", discover=False):
         rows.append(
             {
-                "kernel": name,
-                "alias": aliases_by_canonical.get(name, ""),
-                "description": doc[0] if doc else "",
+                "kernel": spec.name,
+                "alias": spec.aliases[0] if spec.aliases else "",
+                "description": spec.description,
             }
         )
     return rows
 
 
 def resolve_kernel(name: str) -> tuple[str, Callable[[], DependenceGraph]]:
-    """Map a kernel name or alias to ``(canonical_name, graph_factory)``."""
-    key = KERNEL_ALIASES.get(name, name)
+    """Map a kernel name or alias to ``(canonical_name, graph_factory)``.
+
+    A thin shim over :func:`~repro.workloads.registry.resolve_workload`:
+    resolves anything graph-like in the registry (classic kernels,
+    Livermore loops, parametric instances like ``fir(taps=8)``, plugin
+    workloads) and raises :class:`~repro.errors.WorkloadError` — which is
+    also a ``KeyError`` — with a did-you-mean suggestion on failure.
+    """
     try:
-        return key, ALL_KERNELS[key]
-    except KeyError:
-        known = sorted(ALL_KERNELS) + sorted(KERNEL_ALIASES)
-        raise KeyError(f"unknown kernel {name!r}; known: {known}") from None
+        return resolve_workload(name, kind="graph")
+    except WorkloadError as exc:
+        if "unknown workload" not in str(exc):
+            raise
+        graph_specs = [
+            spec for spec in workloads(discover=False) if spec.kind == "graph"
+        ]
+        known = [spec.name for spec in graph_specs]
+        known += [alias for spec in graph_specs for alias in spec.aliases]
+        raise WorkloadError(
+            f"unknown kernel {name!r}; known: {sorted(known)}",
+            suggestion=exc.suggestion,
+        ) from None
 
 
 def kernel_loop(name: str, trip_count: int = 100, times_executed: int = 1) -> Loop:

@@ -14,24 +14,29 @@ from ..ir.builder import LoopBuilder
 from ..ir.ddg import DependenceGraph
 from ..ir.loop import Loop, Program
 from .kernels import dot_product, hydro_fragment, tridiag_solver_step
+from .registry import register_workload, workloads
 
 
+@register_workload("ll1", aliases=("ll1_hydro",), tags=("livermore",))
 def ll1_hydro() -> DependenceGraph:
     """LL1: x[k] = q + y[k]*(r*z[k+10] + t*z[k+11]) — parallel."""
     g = hydro_fragment().copy("ll1")
     return g
 
 
+@register_workload("ll3", aliases=("ll3_inner_product",), tags=("livermore",))
 def ll3_inner_product() -> DependenceGraph:
     """LL3: q += z[k]*x[k] — serial reduction (RecMII = fadd latency)."""
     return dot_product().copy("ll3")
 
 
+@register_workload("ll5", aliases=("ll5_tridiag",), tags=("livermore",))
 def ll5_tridiag() -> DependenceGraph:
     """LL5: x[i] = z[i]*(y[i] - x[i-1]) — first-order recurrence."""
     return tridiag_solver_step().copy("ll5")
 
 
+@register_workload("ll7", aliases=("ll7_equation_of_state",), tags=("livermore",))
 def ll7_equation_of_state() -> DependenceGraph:
     """LL7: the equation-of-state fragment — a wide parallel expression.
 
@@ -57,6 +62,7 @@ def ll7_equation_of_state() -> DependenceGraph:
     return b.build()
 
 
+@register_workload("ll9", aliases=("ll9_integrate_predictors",), tags=("livermore",))
 def ll9_integrate_predictors() -> DependenceGraph:
     """LL9: px[i] = sum of 9 weighted px/cx terms — parallel multiply-adds."""
     b = LoopBuilder("ll9")
@@ -68,6 +74,7 @@ def ll9_integrate_predictors() -> DependenceGraph:
     return b.build()
 
 
+@register_workload("ll10", aliases=("ll10_difference_predictors",), tags=("livermore",))
 def ll10_difference_predictors() -> DependenceGraph:
     """LL10: cascaded difference chains — long serial adds, parallel rows."""
     b = LoopBuilder("ll10")
@@ -84,6 +91,7 @@ def ll10_difference_predictors() -> DependenceGraph:
     return b.build()
 
 
+@register_workload("ll11", aliases=("ll11_first_sum",), tags=("livermore",))
 def ll11_first_sum() -> DependenceGraph:
     """LL11: x[k] = x[k-1] + y[k] — prefix sum (distance-1 recurrence)."""
     b = LoopBuilder("ll11")
@@ -94,6 +102,7 @@ def ll11_first_sum() -> DependenceGraph:
     return b.build()
 
 
+@register_workload("ll12", aliases=("ll12_first_difference",), tags=("livermore",))
 def ll12_first_difference() -> DependenceGraph:
     """LL12: x[k] = y[k+1] - y[k] — fully parallel."""
     b = LoopBuilder("ll12")
@@ -104,15 +113,12 @@ def ll12_first_difference() -> DependenceGraph:
     return b.build()
 
 
+#: Registered Livermore kernels in registration order; tagged
+#: ``"livermore"`` in the workload registry (front-door resolvable but
+#: not part of the classic ``ALL_KERNELS`` catalogue).
 LIVERMORE_KERNELS = {
-    "ll1": ll1_hydro,
-    "ll3": ll3_inner_product,
-    "ll5": ll5_tridiag,
-    "ll7": ll7_equation_of_state,
-    "ll9": ll9_integrate_predictors,
-    "ll10": ll10_difference_predictors,
-    "ll11": ll11_first_sum,
-    "ll12": ll12_first_difference,
+    spec.name: spec.factory
+    for spec in workloads(tag="livermore", discover=False)
 }
 
 #: Kernels whose iterations are serialised by a recurrence (unrolling

@@ -30,9 +30,11 @@ Profiles, qualitatively:
 
 from __future__ import annotations
 
+from ..errors import WorkloadError
 from ..ir.ddg import DependenceGraph
 from ..ir.loop import Loop, Program
 from .generator import LoopShape, RecurrenceSpec, generate_loop
+from .registry import register_workload, resolve_workload
 from .kernels import (
     complex_multiply,
     daxpy,
@@ -70,6 +72,12 @@ def _rename(graph: DependenceGraph, name: str) -> DependenceGraph:
     return renamed
 
 
+@register_workload(
+    "tomcatv",
+    tags=("specfp",),
+    kind="program",
+    description="Mesh generation: large vectorisable bodies, real register pressure.",
+)
 def build_tomcatv() -> Program:
     p = Program("tomcatv")
     base = 7100
@@ -111,6 +119,12 @@ def build_tomcatv() -> Program:
     return p
 
 
+@register_workload(
+    "swim",
+    tags=("specfp",),
+    kind="program",
+    description="Shallow-water stencils: parallel, memory-rich, long trip counts.",
+)
 def build_swim() -> Program:
     p = Program("swim")
     base = 7200
@@ -135,6 +149,12 @@ def build_swim() -> Program:
     return p
 
 
+@register_workload(
+    "su2cor",
+    tags=("specfp",),
+    kind="program",
+    description="Quantum field Monte Carlo: medium bodies, some reductions.",
+)
 def build_su2cor() -> Program:
     p = Program("su2cor")
     base = 7300
@@ -160,6 +180,12 @@ def build_su2cor() -> Program:
     return p
 
 
+@register_workload(
+    "hydro2d",
+    tags=("specfp",),
+    kind="program",
+    description="Hydrodynamics: many small/medium stencil loops, occasional recurrences.",
+)
 def build_hydro2d() -> Program:
     p = Program("hydro2d")
     base = 7400
@@ -184,6 +210,12 @@ def build_hydro2d() -> Program:
     return p
 
 
+@register_workload(
+    "mgrid",
+    tags=("specfp",),
+    kind="program",
+    description="Multigrid 27-point stencils: big fan-in, load-dominated.",
+)
 def build_mgrid() -> Program:
     p = Program("mgrid")
     base = 7500
@@ -208,6 +240,12 @@ def build_mgrid() -> Program:
     return p
 
 
+@register_workload(
+    "applu",
+    tags=("specfp",),
+    kind="program",
+    description="SSOR solver: wavefront recurrences (distance-1 chains).",
+)
 def build_applu() -> Program:
     p = Program("applu")
     base = 7600
@@ -244,6 +282,12 @@ def build_applu() -> Program:
     return p
 
 
+@register_workload(
+    "turb3d",
+    tags=("specfp",),
+    kind="program",
+    description="Turbulence FFT passes: butterflies, mixed int/fp.",
+)
 def build_turb3d() -> Program:
     p = Program("turb3d")
     base = 7700
@@ -267,6 +311,12 @@ def build_turb3d() -> Program:
     return p
 
 
+@register_workload(
+    "apsi",
+    tags=("specfp",),
+    kind="program",
+    description="Mesoscale weather: varied loops with divides.",
+)
 def build_apsi() -> Program:
     p = Program("apsi")
     base = 7800
@@ -291,6 +341,12 @@ def build_apsi() -> Program:
     return p
 
 
+@register_workload(
+    "fpppp",
+    tags=("specfp",),
+    kind="program",
+    description="Electron integrals: huge straight-line FP bodies, no recurrences.",
+)
 def build_fpppp() -> Program:
     # fpppp's signature is very large FP-dominated straight-line bodies.
     # Bodies are kept chain-heavy (low fan-in, frequent stores) so the live
@@ -334,6 +390,12 @@ def build_fpppp() -> Program:
     return p
 
 
+@register_workload(
+    "wave5",
+    tags=("specfp",),
+    kind="program",
+    description="Plasma PIC: gather/scatter with integer address work.",
+)
 def build_wave5() -> Program:
     p = Program("wave5")
     base = 8000
@@ -372,28 +434,22 @@ def build_wave5() -> Program:
     return p
 
 
-_BUILDERS = {
-    "tomcatv": build_tomcatv,
-    "swim": build_swim,
-    "su2cor": build_su2cor,
-    "hydro2d": build_hydro2d,
-    "mgrid": build_mgrid,
-    "applu": build_applu,
-    "turb3d": build_turb3d,
-    "apsi": build_apsi,
-    "fpppp": build_fpppp,
-    "wave5": build_wave5,
-}
-
-
 def build_program(name: str) -> Program:
-    """One synthetic SPECfp95 program by name."""
+    """One synthetic SPECfp95 program by name.
+
+    A shim over the workload registry (the builders register with
+    ``kind="program"`` and the ``"specfp"`` tag); the historical error
+    message is preserved, now as a :class:`WorkloadError` (still a
+    ``KeyError``) with a did-you-mean suggestion.
+    """
     try:
-        return _BUILDERS[name]()
-    except KeyError:
-        raise KeyError(
-            f"unknown program {name!r}; choose from {PROGRAM_NAMES}"
+        _, factory = resolve_workload(name, kind="program")
+    except WorkloadError as exc:
+        raise WorkloadError(
+            f"unknown program {name!r}; choose from {PROGRAM_NAMES}",
+            suggestion=exc.suggestion,
         ) from None
+    return factory()
 
 
 def specfp95_suite() -> list[Program]:

@@ -1,0 +1,250 @@
+"""Tests for the textual loop-IR frontend (repro.ir.frontend).
+
+Covers the front-door acceptance criteria:
+
+* parsed programs are structurally identical to the builder-made
+  graphs they describe (node-for-node, edge-for-edge);
+* every malformed construct is rejected with a :class:`ParseError`
+  carrying the exact 1-based line and column;
+* serialisation round-trips: ``graph_from_dict(graph_to_dict(g))`` is
+  content-identical for frontend-parsed programs (property-tested over
+  generated programs);
+* :func:`graph_content_hash` is stable across process restarts, so
+  cache keys for user programs survive ``PYTHONHASHSEED`` changes.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ParseError
+from repro.ir.ddg import DepKind
+from repro.ir.frontend import LOOP_SUFFIX, parse_file, parse_program
+from repro.ir.serialize import dumps, graph_from_dict, graph_to_dict, loads
+from repro.runner.scenario import graph_content_hash
+from repro.workloads.kernels import daxpy as build_daxpy
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples" / "loops"
+
+DAXPY_TEXT = """\
+loop daxpy
+trip 100
+
+BB0:
+    a = live
+
+BB1:
+    x  = load x[i]
+    y  = load y[i]
+    ax = fmul x, a
+    s  = fadd ax, y
+    store s, y[i]
+
+BB2:
+"""
+
+DOT_TEXT = """\
+loop dot
+BB1:
+    x = load x[i]
+    y = load y[i]
+    m = fmul x, y
+    s = fadd m, s@1
+BB2:
+"""
+
+
+def edge_set(graph):
+    return {
+        (e.src, e.dst, e.kind, e.distance) for e in graph.edges
+    }
+
+
+class TestParseCorrectness:
+    def test_daxpy_matches_builder_graph(self):
+        loop = parse_program(DAXPY_TEXT)
+        built = build_daxpy()
+        parsed = loop.graph
+        assert loop.trip_count == 100
+        assert parsed.name == "daxpy"
+        assert len(parsed) == len(built)
+        assert sorted(n.opcode.name for n in parsed.operations()) == sorted(
+            n.opcode.name for n in built.operations()
+        )
+        # Same dependence structure up to node numbering: both number
+        # nodes in textual/builder order, which coincides here.
+        assert edge_set(parsed) == edge_set(built)
+
+    def test_recurrence_distance_and_recmii(self):
+        loop = parse_program(DOT_TEXT)
+        graph = loop.graph
+        carried = [e for e in graph.edges if e.distance == 1]
+        assert len(carried) == 1
+        (edge,) = carried
+        # s = fadd m, s@1 — the fadd feeds itself at distance 1.
+        assert edge.src == edge.dst
+        assert edge.kind is DepKind.FLOW
+
+    def test_default_trip_count(self):
+        assert parse_program(DOT_TEXT).trip_count == 100
+
+    def test_order_statement_becomes_memory_edge(self):
+        text = (
+            "loop t\nBB1:\n"
+            "    p = load a[i]\n"
+            "    q = load b[i]\n"
+            "    store q, c[i]\n"
+            "    order p, q\n"
+            "BB2:\n"
+        )
+        graph = parse_program(text).graph
+        kinds = [e.kind for e in graph.edges]
+        assert DepKind.MEM in kinds
+
+    def test_parse_file_uses_stem_as_default_name(self, tmp_path):
+        path = tmp_path / ("mine" + LOOP_SUFFIX)
+        path.write_text(DOT_TEXT.replace("loop dot\n", ""))
+        loop = parse_file(path)
+        assert loop.graph.name == "mine"
+
+    def test_corpus_parses(self):
+        files = sorted(EXAMPLES.glob("*.loop"))
+        assert len(files) >= 3
+        for path in files:
+            loop = parse_file(path)
+            assert len(loop.graph) > 0
+
+    def test_negative_corpus_rejected_with_positions(self):
+        files = sorted((EXAMPLES / "bad").glob("*.loop"))
+        assert len(files) >= 6
+        for path in files:
+            with pytest.raises(ParseError) as err:
+                parse_file(path)
+            assert err.value.line >= 1
+            assert err.value.col >= 1
+            assert f"{path}:{err.value.line}:{err.value.col}:" in str(err.value)
+
+
+class TestParseErrors:
+    @pytest.mark.parametrize(
+        "text, line, col, fragment",
+        [
+            ("BB1:\n    x = bogus a\nBB2:\n", 2, 9, "unknown opcode"),
+            ("BB1:\n    x = fadd a, b\nBB2:\n", 2, 14, "undefined value"),
+            (
+                "BB1:\n    x = load a[i]\n    x = load b[i]\nBB2:\n",
+                3,
+                5,
+                "duplicate definition",
+            ),
+            (
+                "BB1:\n    x = load a[i]\n    y = fadd x, x@0\nBB2:\n",
+                3,
+                17,
+                "distance must be >= 1",
+            ),
+            (
+                "BB1:\n    y = fadd s, s\n    s = load a[i]\nBB2:\n",
+                2,
+                14,
+                "before its definition",
+            ),
+            ("BB1:\n    store = load a[i]\nBB2:\n", 2, 11, "malformed operand"),
+            ("BB0:\n    a = live\nBB0:\nBB2:\n", 3, 1, None),
+            ("BB1:\nBB2:\n    x = load a[i]\n", 3, 5, "BB2 must be empty"),
+            ("trip 0\nBB1:\n    x = load a[i]\nBB2:\n", 1, 1, "trip count"),
+        ],
+    )
+    def test_position_and_message(self, text, line, col, fragment):
+        with pytest.raises(ParseError) as err:
+            parse_program(text, source="<t>")
+        assert err.value.source == "<t>"
+        assert (err.value.line, err.value.col) == (line, col)
+        if fragment:
+            assert fragment in str(err.value)
+
+    def test_live_in_with_distance_rejected(self):
+        text = "BB0:\n    a = live\nBB1:\n    x = fadd a@1, a\nBB2:\n"
+        with pytest.raises(ParseError):
+            parse_program(text)
+
+
+# ---------------------------------------------------------------------------
+# Round-trip property: serialisation preserves content identity
+# ---------------------------------------------------------------------------
+@st.composite
+def loop_programs(draw):
+    """Small random-but-valid .loop programs: load/compute chains with
+    optional carried self-uses, closed by a store."""
+    n_loads = draw(st.integers(min_value=1, max_value=3))
+    n_ops = draw(st.integers(min_value=1, max_value=6))
+    lines = ["loop gen", "BB1:"]
+    names = []
+    for i in range(n_loads):
+        names.append(f"v{i}")
+        lines.append(f"    v{i} = load a{i}[i]")
+    for i in range(n_ops):
+        opcode = draw(st.sampled_from(["fadd", "fmul", "fsub", "iadd"]))
+        a = draw(st.sampled_from(names))
+        b = draw(st.sampled_from(names))
+        dist = draw(st.integers(min_value=0, max_value=2))
+        dest = f"t{i}"
+        carry = f"{dest}@{dist}" if dist else a
+        lines.append(f"    {dest} = {opcode} {carry}, {b}")
+        names.append(dest)
+    lines.append(f"    store {names[-1]}, out[i]")
+    lines.append("BB2:")
+    return "\n".join(lines) + "\n"
+
+
+class TestRoundTrip:
+    @settings(max_examples=40, deadline=None)
+    @given(loop_programs())
+    def test_serialize_round_trip_preserves_content_hash(self, text):
+        graph = parse_program(text).graph
+        doc = graph_to_dict(graph)
+        back = graph_from_dict(loads(dumps(doc)))
+        assert graph_to_dict(back) == doc
+        assert graph_content_hash(back) == graph_content_hash(graph)
+        assert edge_set(back) == edge_set(graph)
+
+    def test_corpus_round_trip(self):
+        for path in sorted(EXAMPLES.glob("*.loop")):
+            graph = parse_file(path).graph
+            back = graph_from_dict(graph_to_dict(graph))
+            assert graph_to_dict(back) == graph_to_dict(graph)
+
+
+# ---------------------------------------------------------------------------
+# Content-hash stability across process restarts
+# ---------------------------------------------------------------------------
+class TestHashStability:
+    def test_content_hash_is_process_independent(self):
+        """A fresh interpreter (different PYTHONHASHSEED) must compute the
+        same content hash, or user-program cache keys would be worthless."""
+        here = parse_program(DAXPY_TEXT)
+        local = graph_content_hash(here.graph)
+        script = (
+            "import sys; sys.path.insert(0, sys.argv[1])\n"
+            "from repro.ir.frontend import parse_program\n"
+            "from repro.runner.scenario import graph_content_hash\n"
+            "text = sys.stdin.read()\n"
+            "print(graph_content_hash(parse_program(text).graph))\n"
+        )
+        src = str(Path(__file__).resolve().parent.parent / "src")
+        for seed in ("0", "12345"):
+            proc = subprocess.run(
+                [sys.executable, "-c", script, src],
+                input=DAXPY_TEXT,
+                capture_output=True,
+                text=True,
+                env={"PYTHONHASHSEED": seed, "PATH": "/usr/bin:/bin"},
+            )
+            assert proc.returncode == 0, proc.stderr
+            assert proc.stdout.strip() == local

@@ -1,0 +1,149 @@
+#!/usr/bin/env python3
+"""End-to-end check of the textual loop front door.
+
+Drives the committed ``examples/loops`` corpus through both user-facing
+entry points and cross-checks them:
+
+* every good ``.loop`` file is scheduled via the CLI (``repro-vliw
+  schedule FILE``) and via ``POST /schedule`` with the inline
+  ``program`` payload, and the two rendered schedules must match byte
+  for byte;
+* every good file is simulated via the CLI and must converge (exit 0,
+  no divergence note in the check line);
+* every file under ``examples/loops/bad`` must be rejected with a
+  ``source:line:col:`` parse error by the CLI, and with an HTTP 400
+  carrying the same ``line:col`` marker by the service.
+
+Run from the repository root::
+
+    python tools/frontdoor_check.py
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import subprocess
+import sys
+import tempfile
+import threading
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+GOOD_DIR = ROOT / "examples" / "loops"
+BAD_DIR = GOOD_DIR / "bad"
+LINE_COL = re.compile(r":\d+:\d+:")
+
+_failures: list[str] = []
+
+
+def fail(message: str) -> None:
+    _failures.append(message)
+    print(f"FAIL {message}")
+
+
+def ok(message: str) -> None:
+    print(f"  ok {message}")
+
+
+def run_cli(*args: str, cache: str) -> subprocess.CompletedProcess[str]:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(ROOT / "src") + os.pathsep + env.get("PYTHONPATH", "")
+    env["REPRO_VLIW_CACHE"] = cache
+    return subprocess.run(
+        [sys.executable, "-m", "repro.cli", *args],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=ROOT,
+    )
+
+
+def main() -> int:
+    sys.path.insert(0, str(ROOT / "src"))
+    from repro.runner.cache import ResultCache
+    from repro.service.client import ServiceClient
+    from repro.service.core import SchedulingService
+    from repro.service.server import ServiceServer
+
+    good = sorted(GOOD_DIR.glob("*.loop"))
+    bad = sorted(BAD_DIR.glob("*.loop"))
+    if not good:
+        fail(f"no good corpus files under {GOOD_DIR}")
+    if not bad:
+        fail(f"no negative corpus files under {BAD_DIR}")
+
+    with tempfile.TemporaryDirectory(prefix="frontdoor-") as tmp:
+        cli_cache = str(Path(tmp) / "cli-cache")
+        service = SchedulingService(
+            cache=ResultCache(Path(tmp) / "svc-cache", code_version="frontdoor"),
+            workers=0,
+        )
+        server = ServiceServer(service, port=0)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        client = ServiceClient(port=server.port, timeout=120.0)
+        try:
+            for path in good:
+                rel = path.relative_to(ROOT)
+                source = path.read_text()
+
+                proc = run_cli("schedule", str(rel), cache=cli_cache)
+                if proc.returncode != 0:
+                    fail(f"{rel}: CLI schedule exited {proc.returncode}: "
+                         f"{proc.stderr.strip()}")
+                    continue
+                ok(f"{rel}: CLI schedule")
+
+                payload = client.schedule({"program": source}, wait=True)
+                rendered = payload["result"]["rendered"]
+                if rendered + "\n" != proc.stdout:
+                    fail(f"{rel}: service rendering differs from CLI schedule")
+                else:
+                    ok(f"{rel}: service rendering byte-identical to CLI")
+
+                proc = run_cli("simulate", str(rel), cache=cli_cache)
+                if proc.returncode != 0:
+                    fail(f"{rel}: CLI simulate exited {proc.returncode}: "
+                         f"{proc.stderr.strip()}")
+                elif "(divergence" in proc.stdout:
+                    fail(f"{rel}: simulation diverged from the analytic model")
+                else:
+                    ok(f"{rel}: CLI simulate converged")
+
+            for path in bad:
+                rel = path.relative_to(ROOT)
+                source = path.read_text()
+
+                proc = run_cli("schedule", str(rel), cache=cli_cache)
+                if proc.returncode == 0:
+                    fail(f"{rel}: CLI accepted an invalid program")
+                elif not LINE_COL.search(proc.stderr):
+                    fail(f"{rel}: CLI error lacks a line:col marker: "
+                         f"{proc.stderr.strip()}")
+                else:
+                    ok(f"{rel}: CLI rejected with line:col diagnostics")
+
+                try:
+                    client.schedule({"program": source}, wait=True)
+                except Exception as exc:  # HTTP 400 surfaces as an error
+                    if not LINE_COL.search(str(exc)):
+                        fail(f"{rel}: service error lacks a line:col marker: "
+                             f"{exc}")
+                    else:
+                        ok(f"{rel}: service rejected with line:col diagnostics")
+                else:
+                    fail(f"{rel}: service accepted an invalid program")
+        finally:
+            server.shutdown()
+
+    if _failures:
+        print(f"\nfrontdoor check FAILED ({len(_failures)} failure(s))")
+        return 1
+    print(f"\nfrontdoor check passed: {len(good)} good, {len(bad)} bad "
+          "corpus files exercised via CLI and service")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
